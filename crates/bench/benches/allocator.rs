@@ -1,0 +1,64 @@
+//! Criterion bench: per-slot allocation latency vs user count for every
+//! algorithm. The paper's algorithm must run within a 15 ms slot even at
+//! classroom scale; this bench verifies the `O(N·L·log N)` implementation
+//! leaves orders of magnitude of headroom.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cvr_core::alloc::{Allocator, DensityValueGreedy};
+use cvr_core::baselines::{FireflyLru, Pavq};
+use cvr_core::objective::{SlotProblem, UserSlot};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn build_problem(users: usize, seed: u64) -> SlotProblem {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let slots: Vec<UserSlot> = (0..users)
+        .map(|_| {
+            let mut rates = Vec::with_capacity(6);
+            let mut values = Vec::with_capacity(6);
+            let mut r = rng.gen_range(5.0..15.0);
+            let mut v = rng.gen_range(0.5..1.5);
+            let mut dv = rng.gen_range(0.5..1.0);
+            for _ in 0..6 {
+                rates.push(r);
+                values.push(v);
+                r *= rng.gen_range(1.3..1.6);
+                v += dv;
+                dv *= 0.7;
+            }
+            UserSlot {
+                rates,
+                values,
+                link_budget: rng.gen_range(20.0..100.0),
+            }
+        })
+        .collect();
+    SlotProblem::new(slots, 36.0 * users as f64).expect("valid")
+}
+
+fn bench_allocators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slot_allocation");
+    for users in [5usize, 30, 100, 1000] {
+        let problem = build_problem(users, 42);
+        group.bench_with_input(
+            BenchmarkId::new("density_value_greedy", users),
+            &problem,
+            |b, p| {
+                let mut alg = DensityValueGreedy::new();
+                b.iter(|| alg.allocate(p));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("firefly_lru", users), &problem, |b, p| {
+            let mut alg = FireflyLru::new();
+            b.iter(|| alg.allocate(p));
+        });
+        group.bench_with_input(BenchmarkId::new("pavq", users), &problem, |b, p| {
+            let mut alg = Pavq::new();
+            b.iter(|| alg.allocate(p));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocators);
+criterion_main!(benches);

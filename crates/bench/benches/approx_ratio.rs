@@ -1,0 +1,81 @@
+//! Criterion bench: exact solver latency and Algorithm 1's measured
+//! approximation ratio (Theorem 1 promises ≥ 1/2; in practice it is nearly
+//! 1). The ratio is printed once per run alongside the timing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cvr_core::alloc::{Allocator, DensityValueGreedy};
+use cvr_core::objective::{SlotProblem, UserSlot};
+use cvr_core::offline::{exact_slot_optimum, fractional_upper_bound};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn concave_problem(users: usize, seed: u64) -> SlotProblem {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let slots: Vec<UserSlot> = (0..users)
+        .map(|_| {
+            let mut rates = Vec::with_capacity(6);
+            let mut values = Vec::with_capacity(6);
+            let mut r = rng.gen_range(1.0..5.0);
+            let mut v = 0.0;
+            let mut dv = rng.gen_range(0.5..2.0);
+            for _ in 0..6 {
+                rates.push(r);
+                values.push(v);
+                r += rng.gen_range(1.0..6.0);
+                v += dv;
+                dv *= rng.gen_range(0.4..0.9);
+            }
+            UserSlot {
+                rates,
+                values,
+                link_budget: rng.gen_range(5.0..40.0),
+            }
+        })
+        .collect();
+    let base: f64 = slots.iter().map(|u| u.rates[0]).sum();
+    SlotProblem::new(slots, base + rng.gen_range(5.0..40.0)).expect("valid")
+}
+
+fn bench_exact_and_ratio(c: &mut Criterion) {
+    // Report the measured approximation ratio once.
+    let mut worst: f64 = 1.0;
+    let mut sum = 0.0;
+    let trials = 500;
+    for seed in 0..trials {
+        let p = concave_problem(8, seed);
+        let opt = exact_slot_optimum(&p).expect("small").value;
+        let alg = p.objective(&DensityValueGreedy::new().allocate(&p));
+        let base = p.objective(&p.baseline_assignment());
+        let ratio = if (opt - base).abs() < 1e-12 {
+            1.0
+        } else {
+            ((alg - base) / (opt - base)).clamp(0.0, 1.0)
+        };
+        worst = worst.min(ratio);
+        sum += ratio;
+    }
+    println!(
+        "algorithm-1 approximation ratio over {trials} concave instances: mean {:.4}, worst {:.4} (Theorem 1 bound: 0.5)",
+        sum / trials as f64,
+        worst
+    );
+
+    let mut group = c.benchmark_group("exact_vs_greedy");
+    for users in [5usize, 10, 15] {
+        let p = concave_problem(users, 7);
+        group.bench_with_input(BenchmarkId::new("exact_bb", users), &p, |b, p| {
+            b.iter(|| exact_slot_optimum(p).expect("ok").value);
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", users), &p, |b, p| {
+            let mut alg = DensityValueGreedy::new();
+            b.iter(|| alg.allocate(p));
+        });
+        group.bench_with_input(BenchmarkId::new("fractional_bound", users), &p, |b, p| {
+            b.iter(|| fractional_upper_bound(p));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_and_ratio);
+criterion_main!(benches);

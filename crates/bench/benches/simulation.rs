@@ -1,0 +1,36 @@
+//! Criterion bench: end-to-end simulator throughput — slots simulated per
+//! second for both the trace simulator (Fig. 2/3 substrate) and the full
+//! system simulator (Fig. 7/8 substrate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cvr_sim::allocators::AllocatorKind;
+use cvr_sim::system::{self, SystemConfig};
+use cvr_sim::tracesim::{self, TraceSimConfig};
+
+fn bench_simulators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulators");
+    group.sample_size(10);
+
+    for users in [5usize, 30] {
+        let config = TraceSimConfig {
+            duration_s: 2.0,
+            ..TraceSimConfig::paper_default(users, 11)
+        };
+        group.bench_with_input(BenchmarkId::new("tracesim_2s", users), &config, |b, cfg| {
+            b.iter(|| tracesim::run(cfg, AllocatorKind::DensityValueGreedy));
+        });
+    }
+
+    let sys = SystemConfig {
+        duration_s: 2.0,
+        ..SystemConfig::setup1(11)
+    };
+    group.bench_with_input(BenchmarkId::new("system_2s", 8usize), &sys, |b, cfg| {
+        b.iter(|| system::run(cfg, AllocatorKind::DensityValueGreedy));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulators);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Ablation — fixed vs adaptive FoV margin.
+//!
+//! The paper delivers the predicted FoV plus a fixed 15° margin. The
+//! adaptive extension sizes each user's margin from a quantile of its own
+//! recent prediction errors, trading the same (or better) hit rate for
+//! less delivered panorama — i.e. bandwidth — on predictable users. Both
+//! policies are swept across calm → frantic head-motion regimes.
+//!
+//! Run: `cargo run -p cvr-bench --release --bin ablation_adaptive_margin [--quick]`
+
+use cvr_bench::{f3, print_header, print_row, FigureArgs};
+use cvr_motion::fov::FovSpec;
+use cvr_motion::margin::AdaptiveMargin;
+use cvr_motion::pose::angular_distance;
+use cvr_motion::predict::LinearPredictor;
+use cvr_motion::synthetic::{MotionConfig, MotionGenerator};
+
+struct Outcome {
+    hit_rate: f64,
+    mean_fraction: f64,
+    mean_margin: f64,
+}
+
+fn run_policy(adaptive: bool, saccade_rate: f64, slots: usize, seed: u64) -> Outcome {
+    let base_fov = FovSpec::paper_default();
+    let mut generator = MotionGenerator::new(
+        MotionConfig {
+            slot_duration_s: 1.0 / 60.0,
+            saccade_rate_hz: saccade_rate,
+            ..MotionConfig::paper_default()
+        },
+        seed,
+    );
+    let mut predictor = LinearPredictor::paper_default();
+    let mut margin = AdaptiveMargin::paper_compatible();
+
+    let mut hits = 0u64;
+    let mut total = 0u64;
+    let mut fraction_sum = 0.0;
+    let mut margin_sum = 0.0;
+    let mut pending: Vec<(usize, cvr_motion::pose::Pose, f64)> = Vec::new();
+    for slot in 0..slots {
+        let actual = generator.step();
+        pending.retain(|(due, predicted, used_margin)| {
+            if *due == slot {
+                let fov = base_fov.with_margin(*used_margin);
+                total += 1;
+                if fov.covers(predicted, &actual) {
+                    hits += 1;
+                }
+                let yaw_err = angular_distance(predicted.orientation.yaw, actual.orientation.yaw);
+                let pitch_err = (predicted.orientation.pitch - actual.orientation.pitch).abs();
+                margin.observe_error(yaw_err, pitch_err);
+                false
+            } else {
+                true
+            }
+        });
+        predictor.observe(&actual);
+        if let Some(p) = predictor.predict(2) {
+            let m = if adaptive {
+                margin.margin_deg()
+            } else {
+                base_fov.margin_deg
+            };
+            fraction_sum += base_fov.with_margin(m).delivered_fraction();
+            margin_sum += m;
+            pending.push((slot + 2, p, m));
+        }
+    }
+    Outcome {
+        hit_rate: hits as f64 / total.max(1) as f64,
+        mean_fraction: fraction_sum / slots.max(1) as f64,
+        mean_margin: margin_sum / slots.max(1) as f64,
+    }
+}
+
+fn main() {
+    let args = FigureArgs::parse();
+    let slots = (args.duration_or(300.0) * 60.0) as usize;
+
+    println!("# Fixed 15° vs adaptive margin across head-motion intensities\n");
+    print_header(&[
+        "saccades/s",
+        "policy",
+        "hit rate",
+        "margin",
+        "frac pano",
+        "bw saved",
+    ]);
+    for &saccade_rate in &[0.05, 0.25, 1.0, 3.0] {
+        let fixed = run_policy(false, saccade_rate, slots, args.seed);
+        let adaptive = run_policy(true, saccade_rate, slots, args.seed);
+        let saved = 100.0 * (1.0 - adaptive.mean_fraction / fixed.mean_fraction);
+        print_row(&[
+            f3(saccade_rate),
+            "fixed".to_string(),
+            f3(fixed.hit_rate),
+            f3(fixed.mean_margin),
+            f3(fixed.mean_fraction),
+            "-".to_string(),
+        ]);
+        print_row(&[
+            f3(saccade_rate),
+            "adaptive".to_string(),
+            f3(adaptive.hit_rate),
+            f3(adaptive.mean_margin),
+            f3(adaptive.mean_fraction),
+            format!("{saved:.1}%"),
+        ]);
+    }
+    println!("\nExpected shape: on calm users the adaptive margin shrinks and saves");
+    println!("delivered panorama at near-identical hit rate; under frantic motion it");
+    println!("grows back toward the fixed policy.");
+}

@@ -1,0 +1,118 @@
+//! Ablation — density-only vs value-only vs the combined Algorithm 1.
+//!
+//! Section III shows each pure pass alone can be arbitrarily bad (two
+//! counterexamples) while the combination is ½-optimal. This ablation
+//! measures all three (plus the exact optimum) on random slot instances
+//! and on the end-to-end trace simulation.
+//!
+//! Run: `cargo run -p cvr-bench --release --bin ablation_greedy [--quick]`
+
+use cvr_bench::{f3, print_header, print_row, FigureArgs};
+use cvr_core::alloc::{Allocator, DensityGreedy, DensityValueGreedy, ValueGreedy};
+use cvr_core::objective::{SlotProblem, UserSlot};
+use cvr_core::offline::exact_slot_optimum;
+use cvr_sim::allocators::AllocatorKind;
+use cvr_sim::experiment::trace_experiment;
+use cvr_sim::tracesim::TraceSimConfig;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn random_instance(rng: &mut ChaCha8Rng, users: usize) -> SlotProblem {
+    let user_slots: Vec<UserSlot> = (0..users)
+        .map(|_| {
+            let levels = rng.gen_range(3..=6);
+            let mut rates = Vec::with_capacity(levels);
+            let mut values = Vec::with_capacity(levels);
+            let mut r = rng.gen_range(0.5..3.0);
+            let mut v = rng.gen_range(0.0..1.0);
+            let mut dv = rng.gen_range(0.3..1.5);
+            let decay = rng.gen_range(0.4..0.95);
+            for _ in 0..levels {
+                rates.push(r);
+                values.push(v);
+                r += rng.gen_range(0.5..4.0);
+                v += dv;
+                dv *= decay;
+            }
+            UserSlot {
+                rates,
+                values,
+                link_budget: rng.gen_range(3.0..30.0),
+            }
+        })
+        .collect();
+    let base: f64 = user_slots.iter().map(|u| u.rates[0]).sum();
+    SlotProblem::new(user_slots, base + rng.gen_range(1.0..25.0)).expect("valid")
+}
+
+fn main() {
+    let args = FigureArgs::parse();
+    let instances = args.runs_or(2000);
+
+    println!("# Ablation: greedy variants on {instances} random slot instances\n");
+    let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
+    let mut ratios = [Vec::new(), Vec::new(), Vec::new()]; // density, value, combined
+    let mut worst = [1.0f64; 3];
+    for _ in 0..instances {
+        let p = random_instance(&mut rng, 6);
+        let opt = exact_slot_optimum(&p).expect("small instance");
+        let base = p.objective(&p.baseline_assignment());
+        let opt_gain = opt.value - base;
+        if opt_gain < 1e-9 {
+            // Degenerate: no upgrade improves anything; every algorithm is
+            // trivially optimal.
+            continue;
+        }
+        for (i, alg) in [
+            &mut (Box::new(DensityGreedy::new()) as Box<dyn Allocator>),
+            &mut (Box::new(ValueGreedy::new()) as Box<dyn Allocator>),
+            &mut (Box::new(DensityValueGreedy::new()) as Box<dyn Allocator>),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let gain = p.objective(&alg.allocate(&p)) - base;
+            let ratio = (gain / opt_gain).clamp(0.0, 1.0);
+            ratios[i].push(ratio);
+            worst[i] = worst[i].min(ratio);
+        }
+    }
+
+    print_header(&["variant", "mean ratio", "worst ratio", "≥ 1/2 ?"]);
+    for (i, name) in ["density-only", "value-only", "combined"]
+        .iter()
+        .enumerate()
+    {
+        let mean = ratios[i].iter().sum::<f64>() / ratios[i].len() as f64;
+        print_row(&[
+            name.to_string(),
+            f3(mean),
+            f3(worst[i]),
+            if i == 2 {
+                format!("{}", worst[i] >= 0.5 - 1e-9)
+            } else {
+                "n/a".into()
+            },
+        ]);
+    }
+
+    println!("\n# End-to-end: trace simulation QoE per variant\n");
+    let base = TraceSimConfig {
+        duration_s: args.duration_or(60.0),
+        ..TraceSimConfig::paper_default(5, args.seed)
+    };
+    let kinds = [
+        AllocatorKind::DensityGreedy,
+        AllocatorKind::ValueGreedy,
+        AllocatorKind::DensityValueGreedy,
+        AllocatorKind::Optimal,
+    ];
+    let result = trace_experiment(&base, &kinds, args.runs_or(20).min(20));
+    print_header(&["variant", "mean QoE"]);
+    for k in &kinds {
+        print_row(&[
+            k.label().to_string(),
+            f3(result.per_algorithm[k.label()].qoe.mean()),
+        ]);
+    }
+}

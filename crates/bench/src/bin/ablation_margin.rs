@@ -1,0 +1,70 @@
+//! Ablation — FoV margin vs prediction accuracy vs bandwidth cost.
+//!
+//! The system tolerates orientation-prediction error by delivering the FoV
+//! plus a fixed margin (paper footnote 1: the margin only helps the three
+//! orientation DoFs). A wider margin raises the hit probability δ but also
+//! the delivered fraction of the panorama (more tiles → more rate). This
+//! sweep quantifies the trade-off.
+//!
+//! Run: `cargo run -p cvr-bench --release --bin ablation_margin [--quick]`
+
+use cvr_bench::{f3, print_header, print_row, FigureArgs};
+use cvr_content::tile::tiles_for_pose;
+use cvr_motion::accuracy::DeltaEstimator;
+use cvr_motion::fov::FovSpec;
+use cvr_motion::predict::LinearPredictor;
+use cvr_motion::synthetic::{MotionConfig, MotionGenerator};
+
+fn main() {
+    let args = FigureArgs::parse();
+    let slots = (args.duration_or(300.0) / 0.015) as usize;
+
+    for horizon in [2usize, 4, 8] {
+        println!("# FoV-margin sweep at prediction horizon {horizon}: δ vs delivered fraction\n");
+        print_header(&["margin (deg)", "hit rate", "frac panorama", "mean tiles"]);
+        for margin in [0.0, 5.0, 10.0, 15.0, 20.0, 30.0, 45.0] {
+            let fov = FovSpec::paper_default().with_margin(margin);
+            let mut delta = DeltaEstimator::average_with_prior(1.0);
+            let mut tile_count = 0usize;
+            let mut tile_samples = 0usize;
+            for seed in 0..4u64 {
+                let mut generator = MotionGenerator::new(
+                    MotionConfig {
+                        slot_duration_s: 0.015,
+                        ..MotionConfig::paper_default()
+                    },
+                    args.seed ^ seed,
+                );
+                let mut predictor = LinearPredictor::paper_default();
+                let mut pending: Vec<(usize, cvr_motion::pose::Pose)> = Vec::new();
+                for slot in 0..slots / 4 {
+                    let actual = generator.step();
+                    pending.retain(|(due, predicted)| {
+                        if *due == slot {
+                            delta.record(fov.covers(predicted, &actual));
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    predictor.observe(&actual);
+                    if let Some(p) = predictor.predict(horizon) {
+                        tile_count += tiles_for_pose(&fov, &p).len();
+                        tile_samples += 1;
+                        pending.push((slot + horizon, p));
+                    }
+                }
+            }
+            print_row(&[
+                f3(margin),
+                f3(delta.estimate()),
+                f3(fov.delivered_fraction()),
+                f3(tile_count as f64 / tile_samples.max(1) as f64),
+            ]);
+        }
+        println!();
+    }
+    println!("Expected shape: δ saturates with margin while the tile cost keeps");
+    println!("growing; the saturation point moves right as the prediction horizon");
+    println!("grows — the paper's fixed 15° margin covers the 2-slot pipeline.");
+}

@@ -1,0 +1,45 @@
+//! Ablation — end-to-end QoE with online rendering (§VIII), closing the
+//! loop between the GPU-farm feasibility study (`ablation_render`) and the
+//! full system: the classroom of setup 1 is run with the offline
+//! pre-rendered database (the paper's design) and with online
+//! render+encode farms of 1–8 GPUs in the transmission pipeline.
+//!
+//! Run: `cargo run -p cvr-bench --release --bin ablation_online_render [--quick]`
+
+use cvr_bench::{f3, print_header, print_row, FigureArgs};
+use cvr_sim::allocators::AllocatorKind;
+use cvr_sim::system::{self, RenderingMode, SystemConfig};
+
+fn main() {
+    let args = FigureArgs::parse();
+    let duration = args.duration_or(30.0);
+
+    println!("# Offline vs online rendering — setup 1, ours, {duration:.0} s\n");
+    print_header(&["mode", "avg QoE", "FPS", "quality", "delay"]);
+    let modes: Vec<(String, RenderingMode)> =
+        std::iter::once(("offline".to_string(), RenderingMode::Offline))
+            .chain(
+                [1usize, 2, 4, 8]
+                    .into_iter()
+                    .map(|g| (format!("online-{g}gpu"), RenderingMode::Online { gpus: g })),
+            )
+            .collect();
+    for (name, rendering) in modes {
+        let cfg = SystemConfig {
+            duration_s: duration,
+            rendering,
+            ..SystemConfig::setup1(args.seed)
+        };
+        let r = system::run(&cfg, AllocatorKind::DensityValueGreedy);
+        print_row(&[
+            name,
+            f3(r.summary.avg_qoe),
+            f3(r.fps),
+            f3(r.summary.avg_quality),
+            f3(r.summary.avg_delay),
+        ]);
+    }
+    println!("\nExpected shape: offline is the ceiling (the paper's design choice);");
+    println!("a single online GPU costs real QoE; the multi-GPU farm (the paper's");
+    println!("future-work proposal) approaches offline.");
+}

@@ -1,0 +1,77 @@
+//! Ablation — online rendering/encoding feasibility (Section VIII).
+//!
+//! The paper pre-renders all tiles offline because "the overhead of
+//! rendering and encoding for multiple quality levels makes it difficult
+//! to meet the synchronization performance", and proposes coordinating
+//! multiple GPUs as future work. This ablation quantifies both claims:
+//! on-time fraction and makespan of one slot's render+encode jobs as the
+//! GPU count, user count and scheduling policy vary.
+//!
+//! Run: `cargo run -p cvr-bench --release --bin ablation_render`
+
+use cvr_bench::{f3, print_header, print_row};
+use cvr_core::quality::QualityLevel;
+use cvr_render::job::CostModel;
+use cvr_render::pipeline::{classroom_jobs, RenderFarm};
+use cvr_render::scheduler::{EarliestCompletion, GpuScheduler, RoundRobin, UserAffinity};
+
+const SLOT_S: f64 = 1.0 / 60.0;
+
+fn run_case<S: GpuScheduler>(
+    gpus: usize,
+    users: usize,
+    quality: u8,
+    scheduler: S,
+) -> (f64, f64, f64) {
+    let mut farm = RenderFarm::new(gpus, CostModel::rtx3070(), 3, scheduler);
+    let jobs = classroom_jobs(users, 3, QualityLevel::new(quality), 0.0);
+    // Average over 20 steady-state slots.
+    let mut on_time = 0.0;
+    let mut makespan = 0.0;
+    let mut util = 0.0;
+    let slots = 20;
+    for s in 0..slots {
+        let start = s as f64 * SLOT_S;
+        let jobs: Vec<_> = jobs
+            .iter()
+            .map(|j| cvr_render::job::RenderJob {
+                release_s: start,
+                ..*j
+            })
+            .collect();
+        let r = farm.run_slot(&jobs, start, SLOT_S);
+        on_time += r.on_time_fraction() / slots as f64;
+        makespan += r.makespan_s * 1000.0 / slots as f64;
+        util += r.utilisation / slots as f64;
+    }
+    (on_time, makespan, util)
+}
+
+fn main() {
+    println!("# GPU-count sweep — 8 users × 3 tiles at level 4, earliest-completion\n");
+    print_header(&["GPUs", "on-time", "makespan ms", "utilisation"]);
+    for gpus in [1usize, 2, 3, 4, 6, 8] {
+        let (on_time, makespan, util) = run_case(gpus, 8, 4, EarliestCompletion::new());
+        print_row(&[gpus.to_string(), f3(on_time), f3(makespan), f3(util)]);
+    }
+    println!(
+        "\n(slot budget: {:.2} ms — the paper's server has 4 GPUs)\n",
+        SLOT_S * 1000.0
+    );
+
+    println!("# User-count sweep — 4 GPUs at level 4\n");
+    print_header(&["users", "on-time", "makespan ms", "utilisation"]);
+    for users in [4usize, 8, 15, 30, 60] {
+        let (on_time, makespan, util) = run_case(4, users, 4, EarliestCompletion::new());
+        print_row(&[users.to_string(), f3(on_time), f3(makespan), f3(util)]);
+    }
+
+    println!("\n# Scheduling-policy comparison — 4 GPUs, 15 users, level 6\n");
+    print_header(&["policy", "on-time", "makespan ms"]);
+    let (o1, m1, _) = run_case(4, 15, 6, RoundRobin::new());
+    print_row(&["round-robin".to_string(), f3(o1), f3(m1)]);
+    let (o2, m2, _) = run_case(4, 15, 6, UserAffinity::new());
+    print_row(&["user-affinity".to_string(), f3(o2), f3(m2)]);
+    let (o3, m3, _) = run_case(4, 15, 6, EarliestCompletion::new());
+    print_row(&["earliest-completion".to_string(), f3(o3), f3(m3)]);
+}

@@ -1,0 +1,57 @@
+//! Ablation — sweeping the QoE weights α (delay) and β (variance).
+//!
+//! The paper motivates the weights per application: large α for
+//! delay-sensitive multi-user gaming, large β for consistency-sensitive
+//! museum touring. This ablation shows how the achieved QoE *components*
+//! move as each weight is swept, holding the workload fixed.
+//!
+//! Run: `cargo run -p cvr-bench --release --bin ablation_weights [--quick]`
+
+use cvr_bench::{f3, print_header, print_row, FigureArgs};
+use cvr_core::objective::QoeParams;
+use cvr_sim::allocators::AllocatorKind;
+use cvr_sim::tracesim::{self, TraceSimConfig};
+
+fn main() {
+    let args = FigureArgs::parse();
+    let duration = args.duration_or(60.0);
+
+    println!("# α sweep (β = 0.5): delay sensitivity\n");
+    print_header(&["alpha", "avg QoE", "quality", "delay", "variance"]);
+    for alpha in [0.0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5] {
+        let config = TraceSimConfig {
+            duration_s: duration,
+            params: QoeParams::new(alpha, 0.5).expect("valid"),
+            ..TraceSimConfig::paper_default(5, args.seed)
+        };
+        let r = tracesim::run(&config, AllocatorKind::DensityValueGreedy);
+        print_row(&[
+            f3(alpha),
+            f3(r.summary.avg_qoe),
+            f3(r.summary.avg_quality),
+            f3(r.summary.avg_delay),
+            f3(r.summary.avg_variance),
+        ]);
+    }
+
+    println!("\n# β sweep (α = 0.02): consistency sensitivity\n");
+    print_header(&["beta", "avg QoE", "quality", "delay", "variance"]);
+    for beta in [0.0, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0] {
+        let config = TraceSimConfig {
+            duration_s: duration,
+            params: QoeParams::new(0.02, beta).expect("valid"),
+            ..TraceSimConfig::paper_default(5, args.seed)
+        };
+        let r = tracesim::run(&config, AllocatorKind::DensityValueGreedy);
+        print_row(&[
+            f3(beta),
+            f3(r.summary.avg_qoe),
+            f3(r.summary.avg_quality),
+            f3(r.summary.avg_delay),
+            f3(r.summary.avg_variance),
+        ]);
+    }
+
+    println!("\nExpected shape: larger α buys lower delay, larger β buys lower variance,");
+    println!("both at the cost of average quality.");
+}

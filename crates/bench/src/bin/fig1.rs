@@ -1,0 +1,54 @@
+//! Fig. 1 — motivation measurements.
+//!
+//! (a) Tile size vs quality level for two randomly selected contents
+//!     (convex, increasing).
+//! (b) Mean RTT vs sending rate under a 15 Mbps cap, from 100 000 samples
+//!     (convex, increasing).
+//!
+//! Run: `cargo run -p cvr-bench --release --bin fig1`
+
+use cvr_bench::{f3, print_header, print_row};
+use cvr_content::grid::CellId;
+use cvr_content::sizing::TileSizeModel;
+use cvr_content::tile::TileId;
+use cvr_core::quality::QualityLevel;
+use cvr_net::queueing::RttSampler;
+
+fn main() {
+    println!("# Fig. 1a — tile rate (Mbps) vs quality level, two contents\n");
+    let model = TileSizeModel::paper_default();
+    let contents = [CellId { x: 12, z: -7 }, CellId { x: -33, z: 41 }];
+    print_header(&["level", "content A", "content B"]);
+    let mut prev = [0.0f64; 2];
+    let mut increments: Vec<[f64; 2]> = Vec::new();
+    for l in 1..=6u8 {
+        let q = QualityLevel::new(l);
+        let a = model.tile_rate_mbps(contents[0], TileId::new(1), q);
+        let b = model.tile_rate_mbps(contents[1], TileId::new(2), q);
+        print_row(&[l.to_string(), f3(a), f3(b)]);
+        if l > 1 {
+            increments.push([a - prev[0], b - prev[1]]);
+        }
+        prev = [a, b];
+    }
+    let convex = increments
+        .windows(2)
+        .all(|w| w[1][0] >= w[0][0] - 1e-9 && w[1][1] >= w[0][1] - 1e-9);
+    println!("\nconvex increasing: {convex} (paper: yes)\n");
+
+    println!("# Fig. 1b — mean RTT (ms) vs sending rate, 15 Mbps cap, 100k samples\n");
+    let mut sampler = RttSampler::new(15.0, 1);
+    print_header(&["rate (Mbps)", "mean RTT", "analytic"]);
+    let rates = [2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 13.0, 14.0];
+    let mut means = Vec::new();
+    for &r in &rates {
+        let empirical = sampler.empirical_mean_ms(r, 100_000 / rates.len());
+        let analytic = sampler.mean_rtt_ms(r);
+        means.push(analytic);
+        print_row(&[f3(r), f3(empirical), f3(analytic)]);
+    }
+    let convex_rtt = means
+        .windows(3)
+        .all(|w| (w[2] - w[1]) >= (w[1] - w[0]) - 1e-9);
+    println!("\nconvex increasing: {convex_rtt} (paper: yes)");
+}

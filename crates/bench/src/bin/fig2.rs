@@ -1,0 +1,107 @@
+//! Fig. 2 — trace-based simulation with 5 users: CDFs of (a) average QoE,
+//! (b) average quality, (c) average delivery delay, (d) quality variance,
+//! for ours / Firefly / modified PAVQ / the per-slot offline optimum.
+//!
+//! Paper expectation: ours ≈ optimal on every metric and ahead of the
+//! baselines on QoE; PAVQ close on QoE but different per-component; Firefly
+//! worst variance/delay.
+//!
+//! Run: `cargo run -p cvr-bench --release --bin fig2 [--quick]`
+
+use cvr_bench::{f3, print_header, print_row, FigureArgs};
+use cvr_sim::allocators::AllocatorKind;
+use cvr_sim::experiment::trace_experiment;
+use cvr_sim::tracesim::TraceSimConfig;
+
+fn main() {
+    let args = FigureArgs::parse();
+    let runs = args.runs_or(100);
+    let duration = args.duration_or(300.0);
+    let base = TraceSimConfig {
+        duration_s: duration,
+        ..TraceSimConfig::paper_default(5, args.seed)
+    };
+    println!(
+        "# Fig. 2 — 5 users, {runs} runs × {duration:.0} s, α = {}, β = {}\n",
+        base.params.alpha, base.params.beta
+    );
+
+    let kinds = AllocatorKind::paper_set(true);
+    let result = trace_experiment(&base, &kinds, runs);
+
+    for (metric, pick) in [
+        ("(a) average QoE", 0usize),
+        ("(b) average quality", 1),
+        ("(c) average delay (slots)", 2),
+        ("(d) quality variance", 3),
+    ] {
+        println!("## {metric}\n");
+        print_header(&["algorithm", "mean", "p10", "p50", "p90"]);
+        for kind in &kinds {
+            let label = kind.label();
+            let mut dists = result.per_algorithm[label].clone();
+            let d = match pick {
+                0 => &mut dists.qoe,
+                1 => &mut dists.quality,
+                2 => &mut dists.delay,
+                _ => &mut dists.variance,
+            };
+            print_row(&[
+                label.to_string(),
+                f3(d.mean()),
+                f3(d.quantile(0.1)),
+                f3(d.quantile(0.5)),
+                f3(d.quantile(0.9)),
+            ]);
+        }
+        println!();
+    }
+
+    if let Some(dir) = &args.csv_dir {
+        for kind in &kinds {
+            let label = kind.label();
+            let mut dists = result.per_algorithm[label].clone();
+            for (metric, d) in [
+                ("qoe", &mut dists.qoe),
+                ("quality", &mut dists.quality),
+                ("delay", &mut dists.delay),
+                ("variance", &mut dists.variance),
+            ] {
+                let rows: Vec<String> = d
+                    .cdf_points()
+                    .into_iter()
+                    .map(|(v, p)| format!("{v},{p}"))
+                    .collect();
+                cvr_bench::write_csv(
+                    dir,
+                    &format!("fig2_{metric}_{label}.csv"),
+                    "value,cdf",
+                    &rows,
+                );
+            }
+        }
+    }
+
+    let qoe = |label: &str| result.per_algorithm[label].qoe.mean();
+    println!("## CDF points (average QoE) — plot-ready\n");
+    for kind in &kinds {
+        let mut d = result.per_algorithm[kind.label()].qoe.clone();
+        let pts = d.cdf_points();
+        let thin: Vec<String> = pts
+            .iter()
+            .step_by((pts.len() / 10).max(1))
+            .map(|(v, p)| format!("({v:.2},{p:.2})"))
+            .collect();
+        println!("{:>8}: {}", kind.label(), thin.join(" "));
+    }
+    println!();
+    println!(
+        "ours vs optimal gap: {:.2}% (paper: ours ≈ optimal)",
+        100.0 * (qoe("optimal") - qoe("ours")) / qoe("optimal").abs()
+    );
+    println!(
+        "ours vs firefly: +{:.1}%  |  ours vs pavq: {:+.1}%",
+        cvr_bench::improvement_pct(qoe("ours"), qoe("firefly")),
+        cvr_bench::improvement_pct(qoe("ours"), qoe("pavq")),
+    );
+}

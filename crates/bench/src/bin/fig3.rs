@@ -1,0 +1,90 @@
+//! Fig. 3 — trace-based simulation with 30 users: the same four CDF
+//! metrics as Fig. 2 but at collaborative-classroom scale, where the exact
+//! offline optimum is intractable (the paper omits it; we additionally
+//! report the fractional upper bound as a certificate).
+//!
+//! Run: `cargo run -p cvr-bench --release --bin fig3 [--quick]`
+
+use cvr_bench::{f3, print_header, print_row, FigureArgs};
+use cvr_sim::allocators::AllocatorKind;
+use cvr_sim::experiment::trace_experiment;
+use cvr_sim::tracesim::TraceSimConfig;
+
+fn main() {
+    let args = FigureArgs::parse();
+    let runs = args.runs_or(100);
+    let duration = args.duration_or(300.0);
+    let base = TraceSimConfig {
+        duration_s: duration,
+        compute_bound: true,
+        ..TraceSimConfig::paper_default(30, args.seed)
+    };
+    println!("# Fig. 3 — 30 users, {runs} runs × {duration:.0} s\n");
+
+    let kinds = AllocatorKind::paper_set(false);
+    let result = trace_experiment(&base, &kinds, runs);
+
+    for (metric, pick) in [
+        ("(a) average QoE", 0usize),
+        ("(b) average quality", 1),
+        ("(c) average delay (slots)", 2),
+        ("(d) quality variance", 3),
+    ] {
+        println!("## {metric}\n");
+        print_header(&["algorithm", "mean", "p10", "p50", "p90"]);
+        for kind in &kinds {
+            let mut dists = result.per_algorithm[kind.label()].clone();
+            let d = match pick {
+                0 => &mut dists.qoe,
+                1 => &mut dists.quality,
+                2 => &mut dists.delay,
+                _ => &mut dists.variance,
+            };
+            print_row(&[
+                kind.label().to_string(),
+                f3(d.mean()),
+                f3(d.quantile(0.1)),
+                f3(d.quantile(0.5)),
+                f3(d.quantile(0.9)),
+            ]);
+        }
+        println!();
+    }
+
+    if let Some(dir) = &args.csv_dir {
+        for kind in &kinds {
+            let label = kind.label();
+            let mut dists = result.per_algorithm[label].clone();
+            for (metric, d) in [
+                ("qoe", &mut dists.qoe),
+                ("quality", &mut dists.quality),
+                ("delay", &mut dists.delay),
+                ("variance", &mut dists.variance),
+            ] {
+                let rows: Vec<String> = d
+                    .cdf_points()
+                    .into_iter()
+                    .map(|(v, p)| format!("{v},{p}"))
+                    .collect();
+                cvr_bench::write_csv(
+                    dir,
+                    &format!("fig3_{metric}_{label}.csv"),
+                    "value,cdf",
+                    &rows,
+                );
+            }
+        }
+    }
+
+    let qoe = |label: &str| result.per_algorithm[label].qoe.mean();
+    println!(
+        "mean fractional upper bound on the per-slot objective: {:.3} (per user: {:.3})",
+        result.mean_fractional_bound,
+        result.mean_fractional_bound / 30.0
+    );
+    println!(
+        "ours vs firefly: +{:.1}%  |  ours vs pavq: {:+.1}%",
+        cvr_bench::improvement_pct(qoe("ours"), qoe("firefly")),
+        cvr_bench::improvement_pct(qoe("ours"), qoe("pavq")),
+    );
+}

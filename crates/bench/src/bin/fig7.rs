@@ -1,0 +1,87 @@
+//! Fig. 7 — real-world evaluation, setup 1: 8 users behind one router,
+//! 400 Mbps server limit, `tc` throttles {40…60} Mbps, α = 0.1, β = 0.5,
+//! five repetitions. Bars: (a) average QoE, (b) average delay, (c) FPS.
+//!
+//! Paper headline: ours +81.9 % QoE over Firefly and +12.1 % over modified
+//! PAVQ; ours reaches ~60 FPS.
+//!
+//! Run: `cargo run -p cvr-bench --release --bin fig7 [--quick]`
+
+use cvr_bench::{f3, improvement_pct, print_header, print_row, FigureArgs};
+use cvr_sim::allocators::AllocatorKind;
+use cvr_sim::experiment::system_experiment;
+use cvr_sim::system::SystemConfig;
+
+fn main() {
+    let args = FigureArgs::parse();
+    let repetitions = args.runs_or(5);
+    let base = SystemConfig {
+        duration_s: args.duration_or(60.0),
+        ..SystemConfig::setup1(args.seed)
+    };
+    println!(
+        "# Fig. 7 — setup 1: {} users, 1 router, {} Mbps server, {} reps × {:.0} s\n",
+        base.num_users, base.server_total_mbps, repetitions, base.duration_s
+    );
+
+    let kinds = AllocatorKind::paper_set(false);
+    let result = system_experiment(&base, &kinds, repetitions);
+
+    print_header(&[
+        "algorithm",
+        "avg QoE",
+        "avg delay",
+        "FPS",
+        "quality",
+        "variance",
+    ]);
+    for kind in &kinds {
+        let a = result.per_algorithm[kind.label()];
+        print_row(&[
+            kind.label().to_string(),
+            f3(a.qoe),
+            f3(a.delay),
+            f3(a.fps),
+            f3(a.quality),
+            f3(a.variance),
+        ]);
+    }
+
+    if let Some(dir) = &args.csv_dir {
+        let rows: Vec<String> = kinds
+            .iter()
+            .map(|k| {
+                let a = result.per_algorithm[k.label()];
+                format!(
+                    "{},{},{},{},{},{}",
+                    k.label(),
+                    a.qoe,
+                    a.delay,
+                    a.fps,
+                    a.quality,
+                    a.variance
+                )
+            })
+            .collect();
+        cvr_bench::write_csv(
+            dir,
+            "fig7_bars.csv",
+            "algorithm,qoe,delay,fps,quality,variance",
+            &rows,
+        );
+    }
+
+    let ours = result.per_algorithm["ours"];
+    let firefly = result.per_algorithm["firefly"];
+    let pavq = result.per_algorithm["pavq"];
+    println!();
+    println!(
+        "ours vs firefly: {:+.1}% QoE (paper: +81.9%)",
+        improvement_pct(ours.qoe, firefly.qoe)
+    );
+    println!(
+        "ours vs pavq:    {:+.1}% QoE (paper: +12.1%)",
+        improvement_pct(ours.qoe, pavq.qoe)
+    );
+    println!("ours FPS: {:.1} (paper: ~60)", ours.fps);
+}

@@ -1,0 +1,86 @@
+//! Fig. 8 — real-world evaluation, setup 2: 15 users across two bridged
+//! routers with co-channel interference, 800 Mbps server limit, five
+//! repetitions.
+//!
+//! Paper headline: ours +214.3 % QoE over modified PAVQ; Firefly's QoE
+//! goes negative under the volatile capacity.
+//!
+//! Run: `cargo run -p cvr-bench --release --bin fig8 [--quick]`
+
+use cvr_bench::{f3, improvement_pct, print_header, print_row, FigureArgs};
+use cvr_sim::allocators::AllocatorKind;
+use cvr_sim::experiment::system_experiment;
+use cvr_sim::system::SystemConfig;
+
+fn main() {
+    let args = FigureArgs::parse();
+    let repetitions = args.runs_or(5);
+    let base = SystemConfig {
+        duration_s: args.duration_or(60.0),
+        ..SystemConfig::setup2(args.seed)
+    };
+    println!(
+        "# Fig. 8 — setup 2: {} users, 2 routers (interference), {} Mbps server, {} reps × {:.0} s\n",
+        base.num_users, base.server_total_mbps, repetitions, base.duration_s
+    );
+
+    let kinds = AllocatorKind::paper_set(false);
+    let result = system_experiment(&base, &kinds, repetitions);
+
+    print_header(&[
+        "algorithm",
+        "avg QoE",
+        "avg delay",
+        "FPS",
+        "quality",
+        "variance",
+    ]);
+    for kind in &kinds {
+        let a = result.per_algorithm[kind.label()];
+        print_row(&[
+            kind.label().to_string(),
+            f3(a.qoe),
+            f3(a.delay),
+            f3(a.fps),
+            f3(a.quality),
+            f3(a.variance),
+        ]);
+    }
+
+    if let Some(dir) = &args.csv_dir {
+        let rows: Vec<String> = kinds
+            .iter()
+            .map(|k| {
+                let a = result.per_algorithm[k.label()];
+                format!(
+                    "{},{},{},{},{},{}",
+                    k.label(),
+                    a.qoe,
+                    a.delay,
+                    a.fps,
+                    a.quality,
+                    a.variance
+                )
+            })
+            .collect();
+        cvr_bench::write_csv(
+            dir,
+            "fig8_bars.csv",
+            "algorithm,qoe,delay,fps,quality,variance",
+            &rows,
+        );
+    }
+
+    let ours = result.per_algorithm["ours"];
+    let firefly = result.per_algorithm["firefly"];
+    let pavq = result.per_algorithm["pavq"];
+    println!();
+    println!(
+        "ours vs pavq: {:+.1}% QoE (paper: +214.3%)",
+        improvement_pct(ours.qoe, pavq.qoe)
+    );
+    println!(
+        "firefly QoE: {:.3} (paper: negative under interference)",
+        firefly.qoe
+    );
+}

@@ -1,0 +1,71 @@
+//! Headline numbers — the four percentages the paper's abstract reports,
+//! regenerated from both testbed setups:
+//!
+//! * setup 1: ours vs Firefly (+81.9 % in the paper) and vs modified PAVQ
+//!   (+12.1 %);
+//! * setup 2: ours vs modified PAVQ (+214.3 %), Firefly negative;
+//! * ours ≈ 60 FPS.
+//!
+//! Run: `cargo run -p cvr-bench --release --bin headline [--quick]`
+
+use cvr_bench::{f3, improvement_pct, print_header, print_row, FigureArgs};
+use cvr_sim::allocators::AllocatorKind;
+use cvr_sim::experiment::system_experiment;
+use cvr_sim::system::SystemConfig;
+
+fn main() {
+    let args = FigureArgs::parse();
+    let repetitions = args.runs_or(5);
+    let duration = args.duration_or(60.0);
+    let kinds = AllocatorKind::paper_set(false);
+
+    let setup1 = system_experiment(
+        &SystemConfig {
+            duration_s: duration,
+            ..SystemConfig::setup1(args.seed)
+        },
+        &kinds,
+        repetitions,
+    );
+    let setup2 = system_experiment(
+        &SystemConfig {
+            duration_s: duration,
+            ..SystemConfig::setup2(args.seed)
+        },
+        &kinds,
+        repetitions,
+    );
+
+    println!("# Headline comparison ({repetitions} reps × {duration:.0} s)\n");
+    print_header(&["metric", "paper", "measured"]);
+    let s1 = |l: &str| setup1.per_algorithm[l];
+    let s2 = |l: &str| setup2.per_algorithm[l];
+    print_row(&[
+        "setup1 ours vs firefly".to_string(),
+        "+81.9%".to_string(),
+        format!(
+            "{:+.1}%",
+            improvement_pct(s1("ours").qoe, s1("firefly").qoe)
+        ),
+    ]);
+    print_row(&[
+        "setup1 ours vs pavq".to_string(),
+        "+12.1%".to_string(),
+        format!("{:+.1}%", improvement_pct(s1("ours").qoe, s1("pavq").qoe)),
+    ]);
+    print_row(&[
+        "setup2 ours vs pavq".to_string(),
+        "+214.3%".to_string(),
+        format!("{:+.1}%", improvement_pct(s2("ours").qoe, s2("pavq").qoe)),
+    ]);
+    print_row(&[
+        "setup2 firefly QoE".to_string(),
+        "negative".to_string(),
+        f3(s2("firefly").qoe),
+    ]);
+    print_row(&[
+        "setup1 ours FPS".to_string(),
+        "~60".to_string(),
+        f3(s1("ours").fps),
+    ]);
+}

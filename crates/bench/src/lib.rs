@@ -1,0 +1,206 @@
+//! # cvr-bench
+//!
+//! Benchmarks and figure-regeneration harness for the ICDCS 2022
+//! collaborative-VR reproduction. Each `src/bin/figN` binary regenerates
+//! the data behind the corresponding paper figure; the Criterion benches
+//! measure allocator latency and approximation quality.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt::Display;
+use std::path::{Path, PathBuf};
+
+/// Simple command-line options shared by the figure binaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureArgs {
+    /// Scale factor applied to run counts and durations (`--quick` = 0.1).
+    pub scale: f64,
+    /// Explicit run-count override (`--runs N`).
+    pub runs: Option<usize>,
+    /// Explicit duration override in seconds (`--duration S`).
+    pub duration_s: Option<f64>,
+    /// Base seed (`--seed N`).
+    pub seed: u64,
+    /// Directory to write plot-ready CSV files into (`--csv DIR`).
+    pub csv_dir: Option<PathBuf>,
+}
+
+impl Default for FigureArgs {
+    fn default() -> Self {
+        FigureArgs {
+            scale: 1.0,
+            runs: None,
+            duration_s: None,
+            seed: 2022,
+            csv_dir: None,
+        }
+    }
+}
+
+impl FigureArgs {
+    /// Parses `std::env::args()`, accepting `--quick`, `--scale X`,
+    /// `--runs N`, `--duration S` and `--seed N`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse() -> Self {
+        let mut out = FigureArgs::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => out.scale = 0.1,
+                "--scale" => {
+                    out.scale = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--scale requires a number");
+                }
+                "--runs" => {
+                    out.runs = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .expect("--runs requires an integer"),
+                    );
+                }
+                "--duration" => {
+                    out.duration_s = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .expect("--duration requires seconds"),
+                    );
+                }
+                "--seed" => {
+                    out.seed = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed requires an integer");
+                }
+                "--csv" => {
+                    out.csv_dir =
+                        Some(PathBuf::from(args.next().expect("--csv requires a directory")));
+                }
+                other => panic!(
+                    "unknown argument `{other}`; supported: --quick --scale X --runs N --duration S --seed N --csv DIR"
+                ),
+            }
+        }
+        out
+    }
+
+    /// A run count scaled from the paper's default.
+    pub fn runs_or(&self, paper_default: usize) -> usize {
+        self.runs
+            .unwrap_or_else(|| ((paper_default as f64 * self.scale).round() as usize).max(1))
+    }
+
+    /// A duration scaled from the paper's default.
+    pub fn duration_or(&self, paper_default_s: f64) -> f64 {
+        self.duration_s.unwrap_or(paper_default_s * self.scale)
+    }
+}
+
+/// Writes a CSV file with the given header and rows into `dir`
+/// (creating it if needed), for downstream plotting.
+///
+/// # Panics
+///
+/// Panics on I/O failure — figure regeneration should fail loudly.
+pub fn write_csv(dir: &Path, name: &str, header: &str, rows: &[String]) {
+    std::fs::create_dir_all(dir).expect("create csv directory");
+    let path = dir.join(name);
+    let mut content = String::with_capacity(rows.len() * 32 + header.len() + 1);
+    content.push_str(header);
+    content.push('\n');
+    for row in rows {
+        content.push_str(row);
+        content.push('\n');
+    }
+    std::fs::write(&path, content).expect("write csv file");
+    println!("wrote {}", path.display());
+}
+
+/// Prints a markdown-style table row.
+pub fn print_row<D: Display>(cells: &[D]) {
+    let rendered: Vec<String> = cells.iter().map(|c| format!("{c:>12}")).collect();
+    println!("| {} |", rendered.join(" | "));
+}
+
+/// Prints a header row plus separator.
+pub fn print_header(cells: &[&str]) {
+    print_row(cells);
+    let sep: Vec<String> = cells.iter().map(|_| "-".repeat(12)).collect();
+    println!("| {} |", sep.join(" | "));
+}
+
+/// Formats a float to three decimals for table cells.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Percentage improvement of `a` over `b`, `(a − b) / |b| · 100`.
+pub fn improvement_pct(a: f64, b: f64) -> f64 {
+    if b == 0.0 {
+        if a == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (a - b) / b.abs() * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_pct_basic() {
+        assert!((improvement_pct(1.5, 1.0) - 50.0).abs() < 1e-12);
+        assert!((improvement_pct(1.0, -0.5) - 300.0).abs() < 1e-12);
+        assert_eq!(improvement_pct(0.0, 0.0), 0.0);
+        assert_eq!(improvement_pct(1.0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn args_scaling() {
+        let a = FigureArgs {
+            scale: 0.1,
+            seed: 1,
+            ..FigureArgs::default()
+        };
+        assert_eq!(a.runs_or(100), 10);
+        assert_eq!(a.duration_or(300.0), 30.0);
+        let b = FigureArgs {
+            runs: Some(3),
+            duration_s: Some(5.0),
+            ..a
+        };
+        assert_eq!(b.runs_or(100), 3);
+        assert_eq!(b.duration_or(300.0), 5.0);
+    }
+
+    #[test]
+    fn default_args() {
+        let d = FigureArgs::default();
+        assert_eq!(d.scale, 1.0);
+        assert_eq!(d.seed, 2022);
+        assert!(d.csv_dir.is_none());
+    }
+
+    #[test]
+    fn write_csv_round_trips() {
+        let dir = std::env::temp_dir().join("cvr-bench-csv-test");
+        write_csv(
+            &dir,
+            "sample.csv",
+            "a,b",
+            &["1,2".to_string(), "3,4".to_string()],
+        );
+        let content = std::fs::read_to_string(dir.join("sample.csv")).expect("read back");
+        assert_eq!(content, "a,b\n1,2\n3,4\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

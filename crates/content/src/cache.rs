@@ -1,0 +1,373 @@
+//! Tile caching and the repetitive-tile suppression protocol.
+//!
+//! Three cooperating pieces from Section V:
+//!
+//! * [`ServerTileCache`] — the server's in-memory LRU over encoded tiles;
+//!   it prefetches the cells reachable from the user's position (future
+//!   location is bounded by walking speed), so transmission starts with no
+//!   rendering/encoding delay.
+//! * [`ClientTileBuffer`] — the phone's RAM-bounded tile store; when the
+//!   tile count hits the device threshold the oldest tiles are *released*
+//!   and the release is ACKed so the server knows they must be resent if
+//!   requested again.
+//! * [`DeliveryLedger`] — the server's per-user record of delivered tiles
+//!   (built from ACKs over TCP), used to skip retransmitting tiles the
+//!   client already holds.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::id::VideoId;
+
+/// Outcome of a server cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The tile was already resident.
+    Hit,
+    /// The tile had to be loaded from disk (swap cost in a real server).
+    Miss,
+}
+
+/// A counting LRU cache over encoded tiles.
+#[derive(Debug, Clone)]
+pub struct ServerTileCache {
+    capacity: usize,
+    /// Lazily maintained recency queue: entries carry the clock at which
+    /// they were pushed; stale entries (superseded by a later touch) are
+    /// skipped at eviction time.
+    order: VecDeque<(VideoId, u64)>,
+    resident: HashMap<VideoId, u64>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl ServerTileCache {
+    /// Creates a cache holding at most `capacity` tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        ServerTileCache {
+            capacity,
+            order: VecDeque::new(),
+            resident: HashMap::new(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of resident tiles.
+    pub fn len(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.resident.is_empty()
+    }
+
+    /// Fetches a tile for transmission, loading (and possibly evicting) on
+    /// a miss. Returns whether it was a hit.
+    pub fn fetch(&mut self, id: VideoId) -> CacheOutcome {
+        if self.resident.contains_key(&id) {
+            self.touch(id);
+            self.hits += 1;
+            CacheOutcome::Hit
+        } else {
+            self.insert(id);
+            self.misses += 1;
+            CacheOutcome::Miss
+        }
+    }
+
+    /// Inserts a tile without counting a hit/miss (prefetch path).
+    pub fn insert(&mut self, id: VideoId) {
+        if self.resident.contains_key(&id) {
+            self.touch(id);
+            return;
+        }
+        self.touch(id);
+        while self.resident.len() > self.capacity {
+            self.evict_lru();
+        }
+    }
+
+    fn touch(&mut self, id: VideoId) {
+        self.clock += 1;
+        self.resident.insert(id, self.clock);
+        self.order.push_back((id, self.clock));
+    }
+
+    fn evict_lru(&mut self) {
+        while let Some((candidate, queued_at)) = self.order.pop_front() {
+            match self.resident.get(&candidate) {
+                // Fresh entry: this really is the least recently used.
+                Some(&last_used) if last_used == queued_at => {
+                    self.resident.remove(&candidate);
+                    return;
+                }
+                // Stale queue entry (touched again later, or already gone).
+                _ => continue,
+            }
+        }
+    }
+
+    /// Whether a tile is resident.
+    pub fn contains(&self, id: &VideoId) -> bool {
+        self.resident.contains_key(id)
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+/// The client-side tile buffer with a release threshold.
+#[derive(Debug, Clone)]
+pub struct ClientTileBuffer {
+    threshold: usize,
+    order: VecDeque<VideoId>,
+    held: HashSet<VideoId>,
+}
+
+impl ClientTileBuffer {
+    /// Creates a buffer that releases old tiles once `threshold` tiles are
+    /// held (the paper sizes this by the device's memory).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero.
+    pub fn new(threshold: usize) -> Self {
+        assert!(threshold > 0, "threshold must be positive");
+        ClientTileBuffer {
+            threshold,
+            order: VecDeque::new(),
+            held: HashSet::new(),
+        }
+    }
+
+    /// Number of tiles held.
+    pub fn len(&self) -> usize {
+        self.held.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.held.is_empty()
+    }
+
+    /// Whether a tile is held (decodable without retransmission).
+    pub fn contains(&self, id: &VideoId) -> bool {
+        self.held.contains(id)
+    }
+
+    /// Stores a received tile; returns the tiles *released* to stay under
+    /// the threshold (oldest first). The caller ACKs these releases to the
+    /// server.
+    pub fn store(&mut self, id: VideoId) -> Vec<VideoId> {
+        if self.held.insert(id) {
+            self.order.push_back(id);
+        }
+        let mut released = Vec::new();
+        while self.held.len() > self.threshold {
+            if let Some(old) = self.order.pop_front() {
+                if self.held.remove(&old) {
+                    released.push(old);
+                }
+            }
+        }
+        released
+    }
+}
+
+/// The server's per-user ledger of tiles known to be held by the client.
+#[derive(Debug, Clone, Default)]
+pub struct DeliveryLedger {
+    delivered: HashSet<VideoId>,
+}
+
+impl DeliveryLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        DeliveryLedger::default()
+    }
+
+    /// Whether the server believes the client holds this tile (skip
+    /// retransmission).
+    pub fn is_delivered(&self, id: &VideoId) -> bool {
+        self.delivered.contains(id)
+    }
+
+    /// Records a delivery ACK.
+    pub fn acknowledge(&mut self, id: VideoId) {
+        self.delivered.insert(id);
+    }
+
+    /// Records a release ACK: the client dropped these tiles, so they must
+    /// be retransmitted if requested again.
+    pub fn release<I: IntoIterator<Item = VideoId>>(&mut self, ids: I) {
+        for id in ids {
+            self.delivered.remove(&id);
+        }
+    }
+
+    /// Number of tiles believed held.
+    pub fn len(&self) -> usize {
+        self.delivered.len()
+    }
+
+    /// Whether nothing is believed held.
+    pub fn is_empty(&self) -> bool {
+        self.delivered.is_empty()
+    }
+
+    /// Splits a wanted tile list into (must-send, already-held).
+    pub fn partition_wanted(&self, wanted: &[VideoId]) -> (Vec<VideoId>, Vec<VideoId>) {
+        let mut send = Vec::new();
+        let mut held = Vec::new();
+        for &id in wanted {
+            if self.is_delivered(&id) {
+                held.push(id);
+            } else {
+                send.push(id);
+            }
+        }
+        (send, held)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::CellId;
+    use crate::tile::TileId;
+    use cvr_core::quality::QualityLevel;
+
+    fn id(x: i32, t: u8, q: u8) -> VideoId {
+        VideoId::new(CellId { x, z: 0 }, TileId::new(t), QualityLevel::new(q))
+    }
+
+    #[test]
+    fn cache_hits_after_insert() {
+        let mut c = ServerTileCache::new(4);
+        assert_eq!(c.fetch(id(0, 0, 1)), CacheOutcome::Miss);
+        assert_eq!(c.fetch(id(0, 0, 1)), CacheOutcome::Hit);
+        assert_eq!(c.stats(), (1, 1));
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used() {
+        let mut c = ServerTileCache::new(2);
+        c.fetch(id(0, 0, 1));
+        c.fetch(id(1, 0, 1));
+        c.fetch(id(0, 0, 1)); // refresh id 0
+        c.fetch(id(2, 0, 1)); // evicts id 1 (LRU)
+        assert!(c.contains(&id(0, 0, 1)));
+        assert!(!c.contains(&id(1, 0, 1)));
+        assert!(c.contains(&id(2, 0, 1)));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn cache_prefetch_does_not_count_stats() {
+        let mut c = ServerTileCache::new(8);
+        c.insert(id(0, 0, 1));
+        assert_eq!(c.stats(), (0, 0));
+        assert_eq!(c.fetch(id(0, 0, 1)), CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn cache_respects_capacity_under_churn() {
+        let mut c = ServerTileCache::new(10);
+        for x in 0..1000 {
+            c.fetch(id(x, (x % 4) as u8, 1 + (x % 6) as u8));
+            assert!(c.len() <= 10);
+        }
+    }
+
+    #[test]
+    fn client_buffer_releases_oldest() {
+        let mut b = ClientTileBuffer::new(3);
+        assert!(b.is_empty());
+        assert!(b.store(id(0, 0, 1)).is_empty());
+        assert!(b.store(id(1, 0, 1)).is_empty());
+        assert!(b.store(id(2, 0, 1)).is_empty());
+        let released = b.store(id(3, 0, 1));
+        assert_eq!(released, vec![id(0, 0, 1)]);
+        assert_eq!(b.len(), 3);
+        assert!(!b.contains(&id(0, 0, 1)));
+        assert!(b.contains(&id(3, 0, 1)));
+    }
+
+    #[test]
+    fn client_buffer_duplicate_store_is_idempotent() {
+        let mut b = ClientTileBuffer::new(2);
+        b.store(id(0, 0, 1));
+        b.store(id(0, 0, 1));
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn ledger_suppresses_retransmission_until_release() {
+        let mut ledger = DeliveryLedger::new();
+        assert!(ledger.is_empty());
+        ledger.acknowledge(id(0, 0, 3));
+        ledger.acknowledge(id(1, 1, 3));
+        assert_eq!(ledger.len(), 2);
+
+        let wanted = vec![id(0, 0, 3), id(2, 2, 3)];
+        let (send, held) = ledger.partition_wanted(&wanted);
+        assert_eq!(send, vec![id(2, 2, 3)]);
+        assert_eq!(held, vec![id(0, 0, 3)]);
+
+        // Client releases the tile: it must be resent next time.
+        ledger.release([id(0, 0, 3)]);
+        let (send, held) = ledger.partition_wanted(&wanted);
+        assert_eq!(send.len(), 2);
+        assert!(held.is_empty());
+    }
+
+    #[test]
+    fn ledger_tracks_quality_separately() {
+        let mut ledger = DeliveryLedger::new();
+        ledger.acknowledge(id(0, 0, 2));
+        // Same tile at a different quality is a different video.
+        assert!(!ledger.is_delivered(&id(0, 0, 5)));
+    }
+
+    #[test]
+    fn buffer_release_flows_into_ledger() {
+        // End-to-end: store until release, feed releases into the ledger.
+        let mut buffer = ClientTileBuffer::new(2);
+        let mut ledger = DeliveryLedger::new();
+        for x in 0..4 {
+            let tile = id(x, 0, 1);
+            ledger.acknowledge(tile);
+            let released = buffer.store(tile);
+            ledger.release(released);
+        }
+        // Only the 2 still-buffered tiles remain delivered.
+        assert_eq!(ledger.len(), 2);
+        assert!(ledger.is_delivered(&id(2, 0, 1)));
+        assert!(ledger.is_delivered(&id(3, 0, 1)));
+        assert!(!ledger.is_delivered(&id(0, 0, 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_cache_panics() {
+        let _ = ServerTileCache::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn zero_threshold_buffer_panics() {
+        let _ = ClientTileBuffer::new(0);
+    }
+}

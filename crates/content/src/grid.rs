@@ -1,0 +1,180 @@
+//! The grid world: the scene is pre-rendered on a 5 cm × 5 cm position
+//! grid (Section VI, following Firefly), so every user position maps to a
+//! grid cell whose panorama is served.
+
+use serde::{Deserialize, Serialize};
+
+use cvr_motion::pose::Vec3;
+
+/// A grid cell index on the x/z plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CellId {
+    /// Cell index along x.
+    pub x: i32,
+    /// Cell index along z.
+    pub z: i32,
+}
+
+/// The pre-rendered grid world.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridWorld {
+    /// Cell edge length in metres (paper: 0.05).
+    pub cell_size_m: f64,
+    /// Half-extent of the rendered area, metres: cells exist for positions
+    /// within `[-extent, extent]` on both axes.
+    pub extent_m: f64,
+}
+
+impl GridWorld {
+    /// The paper's grid: 5 cm cells. The extent is chosen to cover the
+    /// synthetic room used by `cvr-motion` (±5 m plus slack).
+    pub fn paper_default() -> Self {
+        GridWorld {
+            cell_size_m: 0.05,
+            extent_m: 6.0,
+        }
+    }
+
+    /// Creates a grid world.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is not positive.
+    pub fn new(cell_size_m: f64, extent_m: f64) -> Self {
+        assert!(cell_size_m > 0.0, "cell size must be positive");
+        assert!(extent_m > 0.0, "extent must be positive");
+        GridWorld {
+            cell_size_m,
+            extent_m,
+        }
+    }
+
+    /// The cell containing `position` (positions outside the extent clamp
+    /// to the boundary cell, as a real system would pin the user inside the
+    /// rendered volume).
+    pub fn cell_of(&self, position: &Vec3) -> CellId {
+        let clamp = |v: f64| v.clamp(-self.extent_m, self.extent_m);
+        CellId {
+            x: (clamp(position.x) / self.cell_size_m).floor() as i32,
+            z: (clamp(position.z) / self.cell_size_m).floor() as i32,
+        }
+    }
+
+    /// Centre position of a cell.
+    pub fn cell_center(&self, cell: CellId) -> Vec3 {
+        Vec3::new(
+            (cell.x as f64 + 0.5) * self.cell_size_m,
+            1.7,
+            (cell.z as f64 + 0.5) * self.cell_size_m,
+        )
+    }
+
+    /// Number of cells along one axis.
+    pub fn cells_per_axis(&self) -> u32 {
+        (2.0 * self.extent_m / self.cell_size_m).ceil() as u32
+    }
+
+    /// Total number of cells in the world.
+    pub fn total_cells(&self) -> u64 {
+        let per_axis = u64::from(self.cells_per_axis());
+        per_axis * per_axis
+    }
+
+    /// All cells within `radius_m` (Chebyshev) of `center`'s cell — the
+    /// reachable set the server caches ahead of the user (the future
+    /// location is bounded by walking speed).
+    pub fn cells_within(&self, center: &Vec3, radius_m: f64) -> Vec<CellId> {
+        let c = self.cell_of(center);
+        let r = (radius_m / self.cell_size_m).ceil() as i32;
+        let mut cells = Vec::with_capacity(((2 * r + 1) * (2 * r + 1)) as usize);
+        for dx in -r..=r {
+            for dz in -r..=r {
+                cells.push(CellId {
+                    x: c.x + dx,
+                    z: c.z + dz,
+                });
+            }
+        }
+        cells
+    }
+}
+
+impl Default for GridWorld {
+    fn default() -> Self {
+        GridWorld::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_of_basic() {
+        let g = GridWorld::paper_default();
+        assert_eq!(g.cell_of(&Vec3::new(0.0, 1.7, 0.0)), CellId { x: 0, z: 0 });
+        assert_eq!(
+            g.cell_of(&Vec3::new(0.049, 1.7, 0.0)),
+            CellId { x: 0, z: 0 }
+        );
+        assert_eq!(
+            g.cell_of(&Vec3::new(0.051, 1.7, 0.0)),
+            CellId { x: 1, z: 0 }
+        );
+        assert_eq!(
+            g.cell_of(&Vec3::new(-0.01, 1.7, 0.12)),
+            CellId { x: -1, z: 2 }
+        );
+    }
+
+    #[test]
+    fn positions_outside_extent_clamp() {
+        let g = GridWorld::new(0.05, 1.0);
+        let far = g.cell_of(&Vec3::new(100.0, 1.7, -100.0));
+        let edge = g.cell_of(&Vec3::new(1.0, 1.7, -1.0));
+        assert_eq!(far, edge);
+    }
+
+    #[test]
+    fn cell_center_round_trips() {
+        let g = GridWorld::paper_default();
+        for &(x, z) in &[(0.0, 0.0), (1.23, -2.34), (-4.9, 4.9)] {
+            let cell = g.cell_of(&Vec3::new(x, 1.7, z));
+            let center = g.cell_center(cell);
+            assert_eq!(g.cell_of(&center), cell);
+        }
+    }
+
+    #[test]
+    fn counts_match_extent() {
+        let g = GridWorld::new(0.5, 1.0);
+        assert_eq!(g.cells_per_axis(), 4);
+        assert_eq!(g.total_cells(), 16);
+        // The paper's world: 5 cm granularity over metres → many cells.
+        let paper = GridWorld::paper_default();
+        assert_eq!(paper.cells_per_axis(), 240);
+        assert_eq!(paper.total_cells(), 57_600);
+    }
+
+    #[test]
+    fn cells_within_radius() {
+        let g = GridWorld::paper_default();
+        let center = Vec3::new(0.0, 1.7, 0.0);
+        let cells = g.cells_within(&center, 0.05);
+        assert_eq!(cells.len(), 9); // 3 × 3
+        assert!(cells.contains(&CellId { x: 0, z: 0 }));
+        assert!(cells.contains(&CellId { x: -1, z: 1 }));
+
+        let bigger = g.cells_within(&center, 0.1);
+        assert_eq!(bigger.len(), 25); // 5 × 5
+        for c in &cells {
+            assert!(bigger.contains(c));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cell size")]
+    fn zero_cell_size_panics() {
+        let _ = GridWorld::new(0.0, 1.0);
+    }
+}

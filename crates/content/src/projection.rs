@@ -1,0 +1,226 @@
+//! Equirectangular projection: mapping view directions onto the panoramic
+//! texture the server renders per grid cell (Section V, Fig. 5).
+//!
+//! The panorama is projected to a rectangular texture with the
+//! equirectangular method: the horizontal texture axis is yaw
+//! (−180°…180° → 0…1) and the vertical axis is pitch (90°…−90° → 0…1).
+
+use serde::{Deserialize, Serialize};
+
+use cvr_core::quality::QualityLevel;
+
+/// Normalised texture coordinates in `[0, 1]²`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TexCoord {
+    /// Horizontal coordinate (yaw axis).
+    pub u: f64,
+    /// Vertical coordinate (pitch axis, 0 at the top).
+    pub v: f64,
+}
+
+/// Maps a view direction (yaw, pitch in degrees) to equirectangular texture
+/// coordinates.
+pub fn project(yaw_deg: f64, pitch_deg: f64) -> TexCoord {
+    let yaw = cvr_motion::pose::wrap_degrees(yaw_deg);
+    let pitch = pitch_deg.clamp(-90.0, 90.0);
+    TexCoord {
+        u: (yaw + 180.0) / 360.0,
+        v: (90.0 - pitch) / 180.0,
+    }
+}
+
+/// Inverse mapping from texture coordinates back to (yaw, pitch) degrees.
+pub fn unproject(tc: TexCoord) -> (f64, f64) {
+    let u = tc.u.clamp(0.0, 1.0);
+    let v = tc.v.clamp(0.0, 1.0);
+    (u * 360.0 - 180.0, 90.0 - v * 180.0)
+}
+
+/// The texture resolution used by the prototype: Quad HD 2560×1440.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TextureSpec {
+    /// Texture width in pixels.
+    pub width_px: u32,
+    /// Texture height in pixels.
+    pub height_px: u32,
+}
+
+impl TextureSpec {
+    /// The paper's 1440p rendering resolution.
+    pub fn paper_default() -> Self {
+        TextureSpec {
+            width_px: 2560,
+            height_px: 1440,
+        }
+    }
+
+    /// Pixel position of a texture coordinate.
+    pub fn to_pixels(&self, tc: TexCoord) -> (u32, u32) {
+        let x = (tc.u * self.width_px as f64).min(self.width_px as f64 - 1.0);
+        let y = (tc.v * self.height_px as f64).min(self.height_px as f64 - 1.0);
+        (x as u32, y as u32)
+    }
+
+    /// Total pixels of one frame at this resolution.
+    pub fn pixels(&self) -> u64 {
+        u64::from(self.width_px) * u64::from(self.height_px)
+    }
+}
+
+impl Default for TextureSpec {
+    fn default() -> Self {
+        TextureSpec::paper_default()
+    }
+}
+
+/// A pixel-space rectangle `[x0, x1) × [y0, y1)` within a texture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PixelRect {
+    /// Left edge, inclusive.
+    pub x0: u32,
+    /// Right edge, exclusive.
+    pub x1: u32,
+    /// Top edge, inclusive.
+    pub y0: u32,
+    /// Bottom edge, exclusive.
+    pub y1: u32,
+}
+
+impl PixelRect {
+    /// Number of pixels covered.
+    pub fn pixels(&self) -> u64 {
+        u64::from(self.x1 - self.x0) * u64::from(self.y1 - self.y0)
+    }
+
+    /// Whether the rectangle contains a pixel.
+    pub fn contains(&self, x: u32, y: u32) -> bool {
+        x >= self.x0 && x < self.x1 && y >= self.y0 && y < self.y1
+    }
+}
+
+/// The pixel rectangle a tile occupies within the equirectangular texture
+/// (the regions FFmpeg would crop-and-encode per tile in the paper's
+/// offline preparation, Fig. 5).
+pub fn tile_pixel_rect(spec: &TextureSpec, tile: crate::tile::TileId) -> PixelRect {
+    let half_w = spec.width_px / 2;
+    let half_h = spec.height_px / 2;
+    // Yaw: tiles 0/2 cover the western half `[−180°, 0°)` → left half of
+    // the texture; pitch: tiles 0/1 are the top half.
+    let west = tile.get().is_multiple_of(2);
+    let top = tile.get() < 2;
+    PixelRect {
+        x0: if west { 0 } else { half_w },
+        x1: if west { half_w } else { spec.width_px },
+        y0: if top { 0 } else { half_h },
+        y1: if top { half_h } else { spec.height_px },
+    }
+}
+
+/// Returns the nominal uncompressed bit budget per frame at `quality` —
+/// a diagnostic helper relating resolution to the encoded sizes produced by
+/// [`crate::sizing`]. Higher levels keep more of the raw information.
+pub fn nominal_frame_bits(spec: &TextureSpec, quality: QualityLevel) -> f64 {
+    // 24 bpp raw, compressed by a factor that halves per CRF step of ~6.
+    let raw = spec.pixels() as f64 * 24.0;
+    let compression = 120.0 / (quality.value() * quality.value());
+    raw / compression
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn project_center_and_corners() {
+        let c = project(0.0, 0.0);
+        assert!((c.u - 0.5).abs() < 1e-12);
+        assert!((c.v - 0.5).abs() < 1e-12);
+
+        let left = project(-180.0, 90.0);
+        assert!((left.u - 0.0).abs() < 1e-12);
+        assert!((left.v - 0.0).abs() < 1e-12);
+
+        let right = project(179.999, -90.0);
+        assert!(right.u > 0.999);
+        assert!((right.v - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn project_wraps_yaw() {
+        let a = project(190.0, 0.0);
+        let b = project(-170.0, 0.0);
+        assert!((a.u - b.u).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_trip() {
+        for &(yaw, pitch) in &[(0.0, 0.0), (45.0, 30.0), (-120.0, -60.0), (179.0, 89.0)] {
+            let (y2, p2) = unproject(project(yaw, pitch));
+            assert!((yaw - y2).abs() < 1e-9, "yaw {yaw} -> {y2}");
+            assert!((pitch - p2).abs() < 1e-9, "pitch {pitch} -> {p2}");
+        }
+    }
+
+    #[test]
+    fn pitch_is_clamped() {
+        let over = project(0.0, 120.0);
+        assert_eq!(over.v, 0.0);
+        let under = project(0.0, -120.0);
+        assert_eq!(under.v, 1.0);
+    }
+
+    #[test]
+    fn texture_pixel_mapping() {
+        let spec = TextureSpec::paper_default();
+        assert_eq!(spec.pixels(), 2560 * 1440);
+        let (x, y) = spec.to_pixels(TexCoord { u: 0.5, v: 0.5 });
+        assert_eq!((x, y), (1280, 720));
+        let (x, y) = spec.to_pixels(TexCoord { u: 1.0, v: 1.0 });
+        assert_eq!((x, y), (2559, 1439));
+    }
+
+    #[test]
+    fn tile_rects_partition_the_texture() {
+        use crate::tile::TileId;
+        let spec = TextureSpec::paper_default();
+        let rects: Vec<PixelRect> = TileId::all()
+            .into_iter()
+            .map(|t| tile_pixel_rect(&spec, t))
+            .collect();
+        let total: u64 = rects.iter().map(PixelRect::pixels).sum();
+        assert_eq!(total, spec.pixels());
+        // Disjoint: no pixel in two rects.
+        for (i, a) in rects.iter().enumerate() {
+            for b in rects.iter().skip(i + 1) {
+                assert!(
+                    a.x1 <= b.x0 || b.x1 <= a.x0 || a.y1 <= b.y0 || b.y1 <= a.y0,
+                    "rects {a:?} and {b:?} overlap"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tile_rect_agrees_with_projection() {
+        use crate::tile::TileId;
+        let spec = TextureSpec::paper_default();
+        // A view direction in the east/top quadrant lands in tile 1's rect.
+        let (x, y) = spec.to_pixels(project(90.0, 45.0));
+        let rect = tile_pixel_rect(&spec, TileId::new(1));
+        assert!(rect.contains(x, y), "({x},{y}) outside {rect:?}");
+        // West/bottom → tile 2.
+        let (x, y) = spec.to_pixels(project(-90.0, -45.0));
+        assert!(tile_pixel_rect(&spec, TileId::new(2)).contains(x, y));
+    }
+
+    #[test]
+    fn nominal_bits_increase_with_quality() {
+        let spec = TextureSpec::paper_default();
+        let mut prev = 0.0;
+        for l in 1..=6 {
+            let bits = nominal_frame_bits(&spec, QualityLevel::new(l));
+            assert!(bits > prev);
+            prev = bits;
+        }
+    }
+}

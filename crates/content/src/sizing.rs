@@ -1,0 +1,296 @@
+//! The tile size model: encoded tile bitrate as a function of quality level
+//! (CRF) and spatial complexity — the synthetic stand-in for the paper's
+//! 171 GB FFmpeg-encoded tile database.
+//!
+//! Fig. 1a of the paper plots tile size against quality level for two
+//! contents and observes the curve is *convex and increasing* (H.264 size
+//! roughly doubles every ~6 CRF steps down). The model reproduces that:
+//! per-level multipliers follow the paper-profile convex curve anchored so
+//! a typical delivery at the medium level (4) needs 36 Mbps — the per-user
+//! budget used in Section IV — and each (cell, tile) pair carries a
+//! deterministic spatial-complexity factor, so different contents have
+//! different curves exactly as in Fig. 1a.
+
+use serde::{Deserialize, Serialize};
+
+use cvr_core::error::ModelError;
+use cvr_core::quality::{QualityLevel, QualitySet};
+use cvr_core::rate::TabulatedRate;
+
+use crate::grid::CellId;
+use crate::tile::TileId;
+
+/// Number of tiles a typical (margin-extended) FoV needs; used to anchor
+/// the per-tile base rate so typical deliveries average the paper's
+/// 36 Mbps at level 4.
+pub const TYPICAL_TILES_PER_DELIVERY: f64 = 3.0;
+
+/// The synthetic encoded-size model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TileSizeModel {
+    /// Rate (Mbps) of a typical whole delivery at the anchor level.
+    anchor_delivery_mbps: f64,
+    /// Per-level multipliers relative to the anchor level (level 4 = 1.0).
+    multipliers: Vec<f64>,
+    /// Spread of the per-tile complexity factor around 1.0.
+    complexity_spread: f64,
+}
+
+impl TileSizeModel {
+    /// The paper's operating point: six levels, anchor 36 Mbps at level 4,
+    /// ±25 % spatial complexity.
+    pub fn paper_default() -> Self {
+        let anchor = TabulatedRate::paper_profile();
+        let base = anchor.as_slice()[3];
+        TileSizeModel {
+            anchor_delivery_mbps: 36.0,
+            multipliers: anchor.as_slice().iter().map(|r| r / base).collect(),
+            complexity_spread: 0.25,
+        }
+    }
+
+    /// Creates a model with custom parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if the anchor rate is not positive, the
+    /// multipliers are not strictly increasing/positive, or the spread is
+    /// outside `[0, 0.9]`.
+    pub fn new(
+        anchor_delivery_mbps: f64,
+        multipliers: Vec<f64>,
+        complexity_spread: f64,
+    ) -> Result<Self, ModelError> {
+        if !anchor_delivery_mbps.is_finite() || anchor_delivery_mbps <= 0.0 {
+            return Err(ModelError::InvalidParameter {
+                name: "anchor_delivery_mbps",
+                value: anchor_delivery_mbps,
+            });
+        }
+        if !(0.0..=0.9).contains(&complexity_spread) {
+            return Err(ModelError::InvalidParameter {
+                name: "complexity_spread",
+                value: complexity_spread,
+            });
+        }
+        // Validate via TabulatedRate's invariants.
+        TabulatedRate::new(multipliers.clone())?;
+        Ok(TileSizeModel {
+            anchor_delivery_mbps,
+            multipliers,
+            complexity_spread,
+        })
+    }
+
+    /// Number of quality levels.
+    pub fn levels(&self) -> usize {
+        self.multipliers.len()
+    }
+
+    /// Deterministic spatial-complexity factor for a (cell, tile) pair, in
+    /// `[1 − spread, 1 + spread]` — texture-rich tiles cost more bits.
+    pub fn complexity(&self, cell: CellId, tile: TileId) -> f64 {
+        // FNV-1a over the coordinates.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in cell
+            .x
+            .to_le_bytes()
+            .into_iter()
+            .chain(cell.z.to_le_bytes())
+            .chain([tile.get()])
+        {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+        1.0 - self.complexity_spread + 2.0 * self.complexity_spread * unit
+    }
+
+    /// Rate (Mbps contribution) of one encoded tile at `quality`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quality` exceeds the number of levels.
+    pub fn tile_rate_mbps(&self, cell: CellId, tile: TileId, quality: QualityLevel) -> f64 {
+        let per_tile_anchor = self.anchor_delivery_mbps / TYPICAL_TILES_PER_DELIVERY;
+        per_tile_anchor * self.multipliers[quality.index()] * self.complexity(cell, tile)
+    }
+
+    /// Total rate to deliver the given tiles of a cell at `quality` — the
+    /// paper's `f_c^R(q)` for that content.
+    pub fn content_rate_mbps(&self, cell: CellId, tiles: &[TileId], quality: QualityLevel) -> f64 {
+        tiles
+            .iter()
+            .map(|&t| self.tile_rate_mbps(cell, t, quality))
+            .sum()
+    }
+
+    /// Builds the per-level rate table `f_c^R(·)` for delivering `tiles` of
+    /// `cell` — the input the allocators consume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tiles` is empty (an empty delivery has no rate curve).
+    pub fn rate_table(&self, cell: CellId, tiles: &[TileId]) -> TabulatedRate {
+        assert!(!tiles.is_empty(), "rate table needs at least one tile");
+        let rates: Vec<f64> = (1..=self.levels())
+            .map(|l| self.content_rate_mbps(cell, tiles, QualityLevel::new(l as u8)))
+            .collect();
+        TabulatedRate::new(rates).expect("scaled multipliers stay valid")
+    }
+
+    /// Total database size in bits if every cell/tile/level combination of
+    /// a world were encoded and stored for `seconds` of content — the
+    /// reproduction of the paper's "content database capacity is about
+    /// 171 GB" bookkeeping. (The frame rate is already baked into the
+    /// bitrates, so only the stored duration matters.)
+    pub fn database_bits(&self, total_cells: u64, quality_set: &QualitySet, seconds: f64) -> f64 {
+        let per_tile_anchor = self.anchor_delivery_mbps / TYPICAL_TILES_PER_DELIVERY;
+        let sum_multipliers: f64 = quality_set
+            .iter()
+            .map(|l| self.multipliers[l.index()])
+            .sum();
+        let mbps_per_cell = per_tile_anchor * sum_multipliers * f64::from(TileId::COUNT);
+        // Mbps × 1e6 = bits per second of video; each stored video is
+        // `seconds` long.
+        total_cells as f64 * mbps_per_cell * 1e6 * seconds
+    }
+}
+
+impl Default for TileSizeModel {
+    fn default() -> Self {
+        TileSizeModel::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(x: i32, z: i32) -> CellId {
+        CellId { x, z }
+    }
+
+    #[test]
+    fn paper_default_is_convex_per_tile() {
+        let m = TileSizeModel::paper_default();
+        for t in TileId::all() {
+            let rates: Vec<f64> = (1..=6)
+                .map(|l| m.tile_rate_mbps(cell(3, -2), t, QualityLevel::new(l)))
+                .collect();
+            for w in rates.windows(2) {
+                assert!(w[1] > w[0], "sizes must increase with quality");
+            }
+            for w in rates.windows(3) {
+                assert!(
+                    (w[2] - w[1]) >= (w[1] - w[0]) - 1e-9,
+                    "sizes must be convex"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn typical_delivery_at_level4_is_36mbps_on_average() {
+        let m = TileSizeModel::paper_default();
+        let mut total = 0.0;
+        let mut count = 0;
+        for x in -20..20 {
+            for z in -20..20 {
+                // A typical delivery: 3 tiles.
+                let tiles = [TileId::new(0), TileId::new(1), TileId::new(2)];
+                total += m.content_rate_mbps(cell(x, z), &tiles, QualityLevel::new(4));
+                count += 1;
+            }
+        }
+        let mean = total / count as f64;
+        assert!(
+            (mean - 36.0).abs() < 2.0,
+            "mean delivery {mean} != ~36 Mbps"
+        );
+    }
+
+    #[test]
+    fn complexity_is_deterministic_and_bounded() {
+        let m = TileSizeModel::paper_default();
+        for x in -10..10 {
+            for t in TileId::all() {
+                let c1 = m.complexity(cell(x, 2 * x), t);
+                let c2 = m.complexity(cell(x, 2 * x), t);
+                assert_eq!(c1, c2);
+                assert!((0.75..=1.25).contains(&c1), "complexity {c1} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn different_contents_have_different_curves() {
+        // The two-content comparison of Fig. 1a: distinct cells yield
+        // distinct size curves.
+        let m = TileSizeModel::paper_default();
+        let t = TileId::new(1);
+        let a = m.tile_rate_mbps(cell(0, 0), t, QualityLevel::new(4));
+        let b = m.tile_rate_mbps(cell(7, -3), t, QualityLevel::new(4));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn rate_table_is_valid_and_matches_content_rate() {
+        let m = TileSizeModel::paper_default();
+        let tiles = [TileId::new(1), TileId::new(3)];
+        let table = m.rate_table(cell(4, 4), &tiles);
+        assert!(table.is_convex());
+        for l in 1..=6u8 {
+            let q = QualityLevel::new(l);
+            assert!(
+                (cvr_core::rate::RateFunction::rate(&table, q)
+                    - m.content_rate_mbps(cell(4, 4), &tiles, q))
+                .abs()
+                    < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tile")]
+    fn empty_rate_table_panics() {
+        let m = TileSizeModel::paper_default();
+        let _ = m.rate_table(cell(0, 0), &[]);
+    }
+
+    #[test]
+    fn more_tiles_cost_more() {
+        let m = TileSizeModel::paper_default();
+        let q = QualityLevel::new(3);
+        let two = m.content_rate_mbps(cell(0, 0), &[TileId::new(0), TileId::new(1)], q);
+        let four = m.content_rate_mbps(cell(0, 0), &TileId::all(), q);
+        assert!(four > two);
+    }
+
+    #[test]
+    fn database_size_is_paper_scale() {
+        // The paper reports ~171 GB for the Office scene. With our grid
+        // (57 600 cells), 4 tiles, 6 levels and short per-cell clips the
+        // model should land within the same order of magnitude when we
+        // store ~0.1 s per cell video.
+        let m = TileSizeModel::paper_default();
+        let g = crate::grid::GridWorld::paper_default();
+        let bits = m.database_bits(g.total_cells(), &QualitySet::paper_default(), 0.1);
+        let gigabytes = bits / 8e9;
+        assert!(
+            (20.0..2000.0).contains(&gigabytes),
+            "database {gigabytes} GB out of plausible range"
+        );
+    }
+
+    #[test]
+    fn custom_model_validation() {
+        assert!(TileSizeModel::new(0.0, vec![1.0, 2.0], 0.1).is_err());
+        assert!(TileSizeModel::new(10.0, vec![2.0, 1.0], 0.1).is_err());
+        assert!(TileSizeModel::new(10.0, vec![1.0, 2.0], 0.95).is_err());
+        let ok = TileSizeModel::new(10.0, vec![1.0, 2.0, 4.0], 0.0).unwrap();
+        assert_eq!(ok.levels(), 3);
+        // Zero spread → complexity exactly 1.
+        assert_eq!(ok.complexity(cell(5, 5), TileId::new(2)), 1.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the content substrate.
+
+use cvr_content::cache::{ClientTileBuffer, ServerTileCache};
+use cvr_content::grid::{CellId, GridWorld};
+use cvr_content::id::VideoId;
+use cvr_content::sizing::TileSizeModel;
+use cvr_content::tile::{tiles_for_pose, TileId};
+use cvr_core::quality::QualityLevel;
+use cvr_motion::fov::FovSpec;
+use cvr_motion::pose::{Orientation, Pose, Vec3};
+use proptest::prelude::*;
+
+fn arb_pose() -> impl Strategy<Value = Pose> {
+    (-5.0f64..5.0, -5.0f64..5.0, -180.0f64..180.0, -85.0f64..85.0).prop_map(|(x, z, yaw, pitch)| {
+        Pose::new(Vec3::new(x, 1.7, z), Orientation::new(yaw, pitch, 0.0))
+    })
+}
+
+proptest! {
+    #[test]
+    fn tile_set_never_empty_and_within_bounds(pose in arb_pose(), margin in 0.0f64..60.0) {
+        let spec = FovSpec::paper_default().with_margin(margin);
+        let tiles = tiles_for_pose(&spec, &pose);
+        prop_assert!(!tiles.is_empty());
+        prop_assert!(tiles.len() <= 4);
+        // No duplicates.
+        let mut sorted = tiles.clone();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), tiles.len());
+    }
+
+    #[test]
+    fn wider_margin_is_superset(pose in arb_pose(), m1 in 0.0f64..30.0, extra in 0.0f64..30.0) {
+        let tight = tiles_for_pose(&FovSpec::paper_default().with_margin(m1), &pose);
+        let wide = tiles_for_pose(&FovSpec::paper_default().with_margin(m1 + extra), &pose);
+        for t in &tight {
+            prop_assert!(wide.contains(t), "margin widening lost {t}");
+        }
+    }
+
+    #[test]
+    fn video_id_round_trips(
+        x in -100_000i32..100_000,
+        z in -100_000i32..100_000,
+        tile in 0u8..4,
+        q in 1u8..=6,
+    ) {
+        let id = VideoId::new(CellId { x, z }, TileId::new(tile), QualityLevel::new(q));
+        prop_assert_eq!(id.cell(), CellId { x, z });
+        prop_assert_eq!(id.tile().get(), tile);
+        prop_assert_eq!(id.quality().get(), q);
+    }
+
+    #[test]
+    fn sizes_are_convex_increasing_everywhere(x in -200i32..200, z in -200i32..200, tile in 0u8..4) {
+        let m = TileSizeModel::paper_default();
+        let cell = CellId { x, z };
+        let t = TileId::new(tile);
+        let rates: Vec<f64> = (1..=6)
+            .map(|l| m.tile_rate_mbps(cell, t, QualityLevel::new(l)))
+            .collect();
+        for w in rates.windows(2) {
+            prop_assert!(w[1] > w[0]);
+        }
+        for w in rates.windows(3) {
+            prop_assert!((w[2] - w[1]) >= (w[1] - w[0]) - 1e-9);
+        }
+    }
+
+    #[test]
+    fn grid_cell_contains_its_center(x in -5.9f64..5.9, z in -5.9f64..5.9) {
+        let g = GridWorld::paper_default();
+        let cell = g.cell_of(&Vec3::new(x, 1.7, z));
+        let center = g.cell_center(cell);
+        prop_assert_eq!(g.cell_of(&center), cell);
+    }
+
+    #[test]
+    fn server_cache_never_exceeds_capacity(
+        capacity in 1usize..64,
+        accesses in prop::collection::vec((-50i32..50, 0u8..4, 1u8..=6), 1..300),
+    ) {
+        let mut cache = ServerTileCache::new(capacity);
+        for (x, t, q) in accesses {
+            cache.fetch(VideoId::new(CellId { x, z: 0 }, TileId::new(t), QualityLevel::new(q)));
+            prop_assert!(cache.len() <= capacity);
+        }
+    }
+
+    #[test]
+    fn client_buffer_never_exceeds_threshold(
+        threshold in 1usize..32,
+        stores in prop::collection::vec(-50i32..50, 1..200),
+    ) {
+        let mut buffer = ClientTileBuffer::new(threshold);
+        let mut total_released = 0usize;
+        let mut insertions = 0usize;
+        for x in stores {
+            let id = VideoId::new(CellId { x, z: 0 }, TileId::new(0), QualityLevel::new(1));
+            if !buffer.contains(&id) {
+                insertions += 1;
+            }
+            total_released += buffer.store(id).len();
+            prop_assert!(buffer.len() <= threshold);
+        }
+        // Conservation: every insertion is either still held or released
+        // (a tile re-stored after release counts as a new insertion).
+        prop_assert_eq!(buffer.len() + total_released, insertions);
+    }
+
+    #[test]
+    fn lru_keeps_most_recent(
+        capacity in 2usize..16,
+        tail in prop::collection::vec(0i32..1000, 1..50),
+    ) {
+        // After arbitrary traffic, touching `capacity` distinct tiles in
+        // order leaves exactly those resident.
+        let mut cache = ServerTileCache::new(capacity);
+        for &x in &tail {
+            cache.fetch(VideoId::new(CellId { x, z: 1 }, TileId::new(0), QualityLevel::new(1)));
+        }
+        let keep: Vec<VideoId> = (0..capacity as i32)
+            .map(|x| VideoId::new(CellId { x, z: -7 }, TileId::new(2), QualityLevel::new(2)))
+            .collect();
+        for id in &keep {
+            cache.fetch(*id);
+        }
+        for id in &keep {
+            prop_assert!(cache.contains(id));
+        }
+    }
+}

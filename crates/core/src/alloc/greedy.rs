@@ -1,0 +1,449 @@
+//! Algorithm 1: the Density/Value-Greedy quality-level allocator.
+//!
+//! Both passes start from the all-ones baseline and repeatedly upgrade one
+//! user by one level:
+//!
+//! * the **density** pass picks the user with the largest marginal QoE per
+//!   marginal rate, `η_n = (h_n(q+1) − h_n(q)) / (f^R(q+1) − f^R(q))`;
+//! * the **value** pass picks the largest marginal QoE,
+//!   `v_n = h_n(q+1) − h_n(q)`.
+//!
+//! A pass stops when the best marginal is negative; an upgrade that busts
+//! the user's link budget or the server budget is rolled back and the user
+//! is retired (`quality_verification` in the paper's pseudocode). The
+//! combined algorithm returns whichever pass scores higher and achieves at
+//! least half the per-slot optimum (Theorem 1).
+//!
+//! The implementation keeps one heap entry per active user (a user's
+//! marginal only changes when that user is upgraded), so each pass runs in
+//! `O(N·L·log N)`.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::objective::SlotProblem;
+use crate::quality::QualityLevel;
+
+use super::Allocator;
+
+/// Which marginal a greedy pass ranks users by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Score {
+    Density,
+    Value,
+}
+
+/// Heap entry: marginal score for upgrading `user` from its current level.
+/// Ordered by score descending, then by user index ascending so ties match
+/// the paper's first-index `argmax`.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    score: f64,
+    user: usize,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Candidate {}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.score
+            .total_cmp(&other.score)
+            .then_with(|| other.user.cmp(&self.user))
+    }
+}
+
+fn marginal(problem: &SlotProblem, user: usize, level_idx: usize, score: Score) -> Option<f64> {
+    let u = &problem.users()[user];
+    if level_idx + 1 >= u.levels() {
+        return None;
+    }
+    let dv = u.values[level_idx + 1] - u.values[level_idx];
+    match score {
+        Score::Value => Some(dv),
+        Score::Density => {
+            let dr = u.rates[level_idx + 1] - u.rates[level_idx];
+            // Rates are validated strictly increasing, so dr > 0.
+            Some(dv / dr)
+        }
+    }
+}
+
+/// Runs one greedy pass and returns the assignment (0-based level indices).
+fn greedy_pass(problem: &SlotProblem, score: Score) -> Vec<usize> {
+    let n = problem.num_users();
+    let mut levels = vec![0usize; n];
+    let mut total_rate: f64 = problem.users().iter().map(|u| u.rates[0]).sum();
+    let server_budget = problem.server_budget();
+
+    let mut heap = BinaryHeap::with_capacity(n);
+    for user in 0..n {
+        if let Some(s) = marginal(problem, user, 0, score) {
+            heap.push(Candidate { score: s, user });
+        }
+    }
+
+    while let Some(Candidate { score: s, user }) = heap.pop() {
+        // Stop the entire pass on a negative best marginal, as in the paper.
+        if s < 0.0 {
+            break;
+        }
+        let u = &problem.users()[user];
+        let cur = levels[user];
+        let next = cur + 1;
+        let next_rate = u.rates[next];
+        let added = next_rate - u.rates[cur];
+
+        // quality_verification: reject upgrades that bust either budget and
+        // retire the user; otherwise commit.
+        if next_rate > u.link_budget || total_rate + added > server_budget + 1e-12 {
+            continue; // rolled back (never committed) and retired.
+        }
+        levels[user] = next;
+        total_rate += added;
+
+        if let Some(s2) = marginal(problem, user, next, score) {
+            heap.push(Candidate { score: s2, user });
+        }
+        // At the top level the user simply retires (no push), matching the
+        // `q_n == L` branch of quality_verification.
+    }
+
+    levels
+}
+
+fn to_assignment(levels: Vec<usize>) -> Vec<QualityLevel> {
+    levels
+        .into_iter()
+        .map(|i| QualityLevel::new((i + 1) as u8))
+        .collect()
+}
+
+/// Outcome of running both greedy passes, exposing the intermediate results
+/// (useful for ablation studies and for the Theorem 1 diagnostics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GreedyOutcome {
+    /// Assignment chosen by the density pass.
+    pub density: Vec<QualityLevel>,
+    /// Objective value of the density pass (`V_d`).
+    pub density_value: f64,
+    /// Assignment chosen by the value pass.
+    pub value: Vec<QualityLevel>,
+    /// Objective value of the value pass (`V_v`).
+    pub value_value: f64,
+}
+
+impl GreedyOutcome {
+    /// Runs both passes on `problem`.
+    pub fn solve(problem: &SlotProblem) -> GreedyOutcome {
+        let density = to_assignment(greedy_pass(problem, Score::Density));
+        let value = to_assignment(greedy_pass(problem, Score::Value));
+        let density_value = problem.objective(&density);
+        let value_value = problem.objective(&value);
+        GreedyOutcome {
+            density,
+            density_value,
+            value,
+            value_value,
+        }
+    }
+
+    /// The better of the two assignments (`V_d` vs `V_v`), the output of
+    /// Algorithm 1.
+    pub fn best(&self) -> &[QualityLevel] {
+        if self.density_value >= self.value_value {
+            &self.density
+        } else {
+            &self.value
+        }
+    }
+
+    /// The larger of the two objective values, `max(V_d, V_v) ≥ OPT/2`.
+    pub fn best_value(&self) -> f64 {
+        self.density_value.max(self.value_value)
+    }
+}
+
+/// The paper's Algorithm 1: run density- and value-greedy, keep the better.
+///
+/// # Examples
+///
+/// ```
+/// use cvr_core::alloc::{Allocator, DensityValueGreedy};
+/// use cvr_core::objective::{SlotProblem, UserSlot};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let problem = SlotProblem::new(
+///     vec![UserSlot {
+///         rates: vec![1.0, 2.0, 4.0],
+///         values: vec![1.0, 1.8, 2.2],
+///         link_budget: 4.0,
+///     }],
+///     4.0,
+/// )?;
+/// let assignment = DensityValueGreedy::new().allocate(&problem);
+/// assert_eq!(assignment[0].get(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DensityValueGreedy;
+
+impl DensityValueGreedy {
+    /// Creates the allocator.
+    pub fn new() -> Self {
+        DensityValueGreedy
+    }
+}
+
+impl Allocator for DensityValueGreedy {
+    fn allocate(&mut self, problem: &SlotProblem) -> Vec<QualityLevel> {
+        GreedyOutcome::solve(problem).best().to_vec()
+    }
+
+    fn name(&self) -> &'static str {
+        "density-value-greedy"
+    }
+}
+
+/// The pure density-greedy pass (ablation; can lose badly alone).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DensityGreedy;
+
+impl DensityGreedy {
+    /// Creates the allocator.
+    pub fn new() -> Self {
+        DensityGreedy
+    }
+}
+
+impl Allocator for DensityGreedy {
+    fn allocate(&mut self, problem: &SlotProblem) -> Vec<QualityLevel> {
+        to_assignment(greedy_pass(problem, Score::Density))
+    }
+
+    fn name(&self) -> &'static str {
+        "density-greedy"
+    }
+}
+
+/// The pure value-greedy pass (ablation; can lose badly alone).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ValueGreedy;
+
+impl ValueGreedy {
+    /// Creates the allocator.
+    pub fn new() -> Self {
+        ValueGreedy
+    }
+}
+
+impl Allocator for ValueGreedy {
+    fn allocate(&mut self, problem: &SlotProblem) -> Vec<QualityLevel> {
+        to_assignment(greedy_pass(problem, Score::Value))
+    }
+
+    fn name(&self) -> &'static str {
+        "value-greedy"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::UserSlot;
+
+    /// Builds a user whose incremental values/rates are given; the tables
+    /// are the running sums starting from (rate₁, value₁).
+    fn user(rate1: f64, value1: f64, increments: &[(f64, f64)], link: f64) -> UserSlot {
+        let mut rates = vec![rate1];
+        let mut values = vec![value1];
+        for &(dr, dv) in increments {
+            rates.push(rates.last().unwrap() + dr);
+            values.push(values.last().unwrap() + dv);
+        }
+        UserSlot {
+            rates,
+            values,
+            link_budget: link,
+        }
+    }
+
+    /// Section III counterexample 1: density-greedy fails, value-greedy is
+    /// optimal, so Algorithm 1 must be optimal.
+    ///
+    /// h₁(1)=1 at rate 0.5; h₂(2)=4 at rate 2.5; server budget 2.5.
+    /// We encode "level 0" as the mandatory baseline with negligible rate
+    /// and zero value so the interesting choice is the first upgrade.
+    #[test]
+    fn density_greedy_counterexample() {
+        let eps = 1e-6;
+        let problem = SlotProblem::new(
+            vec![
+                // Upgrade: +1 value for +0.5 rate (density 2).
+                user(eps, 0.0, &[(0.5, 1.0)], 10.0),
+                // Upgrade: +4 value for +2.5 rate (density 1.6).
+                user(eps, 0.0, &[(2.5, 4.0)], 10.0),
+            ],
+            2.5 + 2.0 * eps,
+        )
+        .unwrap();
+
+        let d = DensityGreedy::new().allocate(&problem);
+        let v = ValueGreedy::new().allocate(&problem);
+        let best = DensityValueGreedy::new().allocate(&problem);
+
+        // Density upgrades user 1 first (density 2 > 1.6), then cannot
+        // afford user 2: objective 1.
+        assert!((problem.objective(&d) - 1.0).abs() < 1e-9);
+        // Value upgrades user 2 (4 > 1): objective 4 — the optimum.
+        assert!((problem.objective(&v) - 4.0).abs() < 1e-9);
+        assert!((problem.objective(&best) - 4.0).abs() < 1e-9);
+    }
+
+    /// Section III counterexample 2: value-greedy fails, density-greedy is
+    /// optimal.
+    ///
+    /// Four users each worth 2 at rate 0.5; one user worth 3 at rate 2;
+    /// budget 2.
+    #[test]
+    fn value_greedy_counterexample() {
+        let eps = 1e-7;
+        let mut users: Vec<UserSlot> = (0..4)
+            .map(|_| user(eps, 0.0, &[(0.5, 2.0)], 10.0))
+            .collect();
+        users.push(user(eps, 0.0, &[(2.0, 3.0)], 10.0));
+        let problem = SlotProblem::new(users, 2.0 + 5.0 * eps).unwrap();
+
+        let d = DensityGreedy::new().allocate(&problem);
+        let v = ValueGreedy::new().allocate(&problem);
+        let best = DensityValueGreedy::new().allocate(&problem);
+
+        // Value picks the 3-value upgrade and exhausts the budget: 3.
+        assert!((problem.objective(&v) - 3.0).abs() < 1e-9);
+        // Density picks the four 0.5-rate upgrades (density 4 each): 8.
+        assert!((problem.objective(&d) - 8.0).abs() < 1e-9);
+        assert!((problem.objective(&best) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_link_budget() {
+        let problem =
+            SlotProblem::new(vec![user(1.0, 0.0, &[(1.0, 5.0), (1.0, 5.0)], 2.5)], 100.0).unwrap();
+        let a = DensityValueGreedy::new().allocate(&problem);
+        // Level 3 needs rate 3 > link 2.5, so the allocator stops at 2.
+        assert_eq!(a[0].get(), 2);
+        assert!(problem.is_feasible(&a));
+    }
+
+    #[test]
+    fn respects_server_budget() {
+        let problem = SlotProblem::new(
+            vec![
+                user(1.0, 0.0, &[(2.0, 5.0)], 10.0),
+                user(1.0, 0.0, &[(2.0, 4.0)], 10.0),
+            ],
+            4.5,
+        )
+        .unwrap();
+        let a = DensityValueGreedy::new().allocate(&problem);
+        // Only one upgrade fits (2 + 2·1 base = 4 ≤ 4.5; two would be 6).
+        assert!(problem.is_feasible(&a));
+        assert_eq!(a.iter().filter(|q| q.get() == 2).count(), 1);
+        // And it is the more valuable one.
+        assert_eq!(a[0].get(), 2);
+    }
+
+    #[test]
+    fn stops_on_negative_marginal() {
+        // Second upgrade has negative marginal value; greedy must not take
+        // it even though budget allows.
+        let problem = SlotProblem::new(
+            vec![user(1.0, 0.0, &[(1.0, 2.0), (1.0, -1.0)], 100.0)],
+            100.0,
+        )
+        .unwrap();
+        let a = DensityValueGreedy::new().allocate(&problem);
+        assert_eq!(a[0].get(), 2);
+    }
+
+    #[test]
+    fn negative_first_marginal_keeps_baseline() {
+        let problem = SlotProblem::new(vec![user(1.0, 0.5, &[(1.0, -0.5)], 100.0)], 100.0).unwrap();
+        for mut alg in [
+            Box::new(DensityValueGreedy::new()) as Box<dyn Allocator>,
+            Box::new(DensityGreedy::new()),
+            Box::new(ValueGreedy::new()),
+        ] {
+            let a = alg.allocate(&problem);
+            assert_eq!(
+                a[0],
+                QualityLevel::MIN,
+                "{} took a losing upgrade",
+                alg.name()
+            );
+        }
+    }
+
+    #[test]
+    fn saturates_at_top_level() {
+        let problem = SlotProblem::new(
+            vec![user(1.0, 0.0, &[(1.0, 3.0), (1.0, 2.0)], 100.0)],
+            100.0,
+        )
+        .unwrap();
+        let a = DensityValueGreedy::new().allocate(&problem);
+        assert_eq!(a[0].get(), 3);
+    }
+
+    #[test]
+    fn outcome_reports_both_passes() {
+        let problem = SlotProblem::new(vec![user(1.0, 0.0, &[(1.0, 2.0)], 100.0)], 100.0).unwrap();
+        let outcome = GreedyOutcome::solve(&problem);
+        assert_eq!(outcome.density, outcome.value);
+        assert_eq!(outcome.best_value(), 2.0);
+        assert_eq!(outcome.best(), outcome.density.as_slice());
+    }
+
+    #[test]
+    fn tie_breaks_by_lowest_user_index() {
+        let problem = SlotProblem::new(
+            vec![
+                user(1.0, 0.0, &[(1.0, 2.0)], 100.0),
+                user(1.0, 0.0, &[(1.0, 2.0)], 100.0),
+            ],
+            3.0, // only one upgrade fits (base 2 + 1)
+        )
+        .unwrap();
+        let a = DensityValueGreedy::new().allocate(&problem);
+        assert_eq!(a[0].get(), 2);
+        assert_eq!(a[1].get(), 1);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(DensityValueGreedy::new().name(), "density-value-greedy");
+        assert_eq!(DensityGreedy::new().name(), "density-greedy");
+        assert_eq!(ValueGreedy::new().name(), "value-greedy");
+    }
+
+    #[test]
+    fn boxed_allocator_dispatches() {
+        let problem = SlotProblem::new(vec![user(1.0, 0.0, &[(1.0, 2.0)], 100.0)], 100.0).unwrap();
+        let mut boxed: Box<dyn Allocator> = Box::new(DensityValueGreedy::new());
+        let a = boxed.allocate(&problem);
+        assert_eq!(a[0].get(), 2);
+        boxed.reset();
+    }
+}

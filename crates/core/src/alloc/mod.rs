@@ -1,0 +1,52 @@
+//! Quality-level allocation algorithms.
+//!
+//! The central entry point is [`DensityValueGreedy`], the paper's
+//! Algorithm 1, which carries a proven 1/2-approximation guarantee for the
+//! per-slot problem (Theorem 1). The pure [`DensityGreedy`] and
+//! [`ValueGreedy`] passes are also exposed individually — each alone can be
+//! arbitrarily bad (the two counterexamples in Section III are unit tests
+//! here), which is precisely why the paper combines them.
+
+mod greedy;
+mod lagrangian;
+
+pub use greedy::{DensityGreedy, DensityValueGreedy, GreedyOutcome, ValueGreedy};
+pub use lagrangian::LagrangianBisection;
+
+use crate::objective::SlotProblem;
+use crate::quality::QualityLevel;
+
+/// A per-slot quality-level allocator.
+///
+/// Allocators may be stateful across slots (e.g. the PAVQ dual price or the
+/// Firefly LRU queue), hence `&mut self`.
+pub trait Allocator {
+    /// Chooses a quality level for every user in the slot problem.
+    ///
+    /// The returned assignment always has one entry per user and starts from
+    /// the mandatory level-1 baseline; levels above 1 respect both rate
+    /// constraints whenever the solver honours them (all solvers in this
+    /// crate do).
+    fn allocate(&mut self, problem: &SlotProblem) -> Vec<QualityLevel>;
+
+    /// Human-readable algorithm name for reports and plots.
+    fn name(&self) -> &'static str;
+
+    /// Resets any cross-slot state; default is a no-op for stateless
+    /// allocators.
+    fn reset(&mut self) {}
+}
+
+impl<A: Allocator + ?Sized> Allocator for Box<A> {
+    fn allocate(&mut self, problem: &SlotProblem) -> Vec<QualityLevel> {
+        (**self).allocate(problem)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn reset(&mut self) {
+        (**self).reset();
+    }
+}

@@ -1,0 +1,14 @@
+//! State-of-the-art comparison algorithms re-implemented from their papers.
+//!
+//! * [`FireflyLru`] — the Adaptive Quality Control of Firefly (USENIX ATC
+//!   2020), which allocates rate to users with an LRU discipline and no
+//!   delay awareness.
+//! * [`Pavq`] — the Practical Adaptive Variance-aware Quality allocation of
+//!   Joseph & de Veciana (INFOCOM 2012), *modified* as in Section IV of the
+//!   reproduced paper to account for delivery delay in its per-user metric.
+
+mod firefly;
+mod pavq;
+
+pub use firefly::FireflyLru;
+pub use pavq::Pavq;

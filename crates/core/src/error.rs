@@ -1,0 +1,157 @@
+//! Error types for the core QoE library.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced when constructing or validating QoE-model components.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A quality set must contain at least one level.
+    EmptyQualitySet,
+    /// A quality level index was outside `1..=L`.
+    LevelOutOfRange {
+        /// The offending level value.
+        level: u8,
+        /// The number of levels in the quality set.
+        max: u8,
+    },
+    /// A tabulated rate function must be strictly increasing in the level.
+    NonIncreasingRates {
+        /// Index (0-based level offset) at which monotonicity is violated.
+        index: usize,
+    },
+    /// A tabulated function's length disagrees with the quality set size.
+    LengthMismatch {
+        /// Number of entries provided.
+        got: usize,
+        /// Number of entries expected (one per level).
+        expected: usize,
+    },
+    /// A parameter that must be positive (or non-negative) was not.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A probability was outside `[0, 1]`.
+    InvalidProbability {
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::EmptyQualitySet => write!(f, "quality set must contain at least one level"),
+            ModelError::LevelOutOfRange { level, max } => {
+                write!(f, "quality level {level} out of range 1..={max}")
+            }
+            ModelError::NonIncreasingRates { index } => {
+                write!(f, "rate table is not strictly increasing at index {index}")
+            }
+            ModelError::LengthMismatch { got, expected } => {
+                write!(
+                    f,
+                    "table length {got} does not match quality set size {expected}"
+                )
+            }
+            ModelError::InvalidParameter { name, value } => {
+                write!(f, "parameter `{name}` has invalid value {value}")
+            }
+            ModelError::InvalidProbability { value } => {
+                write!(f, "probability {value} is outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl StdError for ModelError {}
+
+/// Errors produced by allocation solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AllocError {
+    /// The problem instance contains no users.
+    NoUsers,
+    /// A user's per-level tables are malformed (wrong length or ordering).
+    MalformedUser {
+        /// Index of the offending user.
+        user: usize,
+        /// Explanation of the malformation.
+        reason: &'static str,
+    },
+    /// Instance too large for an exact solver.
+    TooLarge {
+        /// Number of users in the instance.
+        users: usize,
+        /// Maximum number of users the solver supports.
+        max_users: usize,
+    },
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::NoUsers => write!(f, "allocation problem has no users"),
+            AllocError::MalformedUser { user, reason } => {
+                write!(
+                    f,
+                    "user {user} has a malformed problem description: {reason}"
+                )
+            }
+            AllocError::TooLarge { users, max_users } => {
+                write!(
+                    f,
+                    "instance with {users} users exceeds exact-solver limit of {max_users}"
+                )
+            }
+        }
+    }
+}
+
+impl StdError for AllocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errs: Vec<Box<dyn StdError>> = vec![
+            Box::new(ModelError::EmptyQualitySet),
+            Box::new(ModelError::LevelOutOfRange { level: 9, max: 6 }),
+            Box::new(ModelError::NonIncreasingRates { index: 3 }),
+            Box::new(ModelError::LengthMismatch {
+                got: 4,
+                expected: 6,
+            }),
+            Box::new(ModelError::InvalidParameter {
+                name: "alpha",
+                value: -1.0,
+            }),
+            Box::new(ModelError::InvalidProbability { value: 1.5 }),
+            Box::new(AllocError::NoUsers),
+            Box::new(AllocError::MalformedUser {
+                user: 0,
+                reason: "empty",
+            }),
+            Box::new(AllocError::TooLarge {
+                users: 99,
+                max_users: 10,
+            }),
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+        assert_send_sync::<AllocError>();
+    }
+}

@@ -1,0 +1,260 @@
+//! Horizon QoE accounting.
+//!
+//! [`UserQoeAccumulator`] ingests one observation per slot — the chosen
+//! quality, whether the prediction covered the user's FoV, and the
+//! experienced delivery delay — and produces the paper's QoE
+//!
+//! ```text
+//! QoE_n(T) = Σ_t q_n(t)·𝟙_n(t) − α·Σ_t d_n(t) − β·T·σ_n²(T)
+//! ```
+//!
+//! together with its individual components, both as totals and per-slot
+//! averages (the figures plot per-slot averages).
+
+use serde::{Deserialize, Serialize};
+
+use crate::objective::QoeParams;
+use crate::quality::QualityLevel;
+use crate::variance::VarianceTracker;
+
+/// Per-user online QoE bookkeeping over a horizon.
+///
+/// # Examples
+///
+/// ```
+/// use cvr_core::qoe::UserQoeAccumulator;
+/// use cvr_core::objective::QoeParams;
+/// use cvr_core::quality::QualityLevel;
+///
+/// let mut acc = UserQoeAccumulator::new(QoeParams::simulation_default());
+/// acc.record(QualityLevel::new(4), true, 0.5);
+/// acc.record(QualityLevel::new(4), false, 0.5);
+/// let s = acc.summary();
+/// assert_eq!(s.slots, 2);
+/// assert!((s.avg_viewed_quality - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserQoeAccumulator {
+    params: QoeParams,
+    tracker: VarianceTracker,
+    sum_viewed_quality: f64,
+    sum_chosen_quality: f64,
+    sum_delay: f64,
+    hits: u64,
+}
+
+/// Summary of a user's QoE over the recorded horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UserQoeSummary {
+    /// Number of recorded slots `T`.
+    pub slots: u64,
+    /// Average successfully-viewed quality `(1/T)·Σ q·𝟙`.
+    pub avg_viewed_quality: f64,
+    /// Average *chosen* quality `(1/T)·Σ q` (diagnostic; the paper's
+    /// quality plots use the viewed quality).
+    pub avg_chosen_quality: f64,
+    /// Average delivery delay.
+    pub avg_delay: f64,
+    /// Variance of the viewed quality, `σ²(T)`.
+    pub variance: f64,
+    /// Empirical prediction success rate.
+    pub hit_rate: f64,
+    /// Total QoE `Σ q𝟙 − α Σ d − β T σ²`.
+    pub total_qoe: f64,
+    /// Per-slot QoE, `total_qoe / T`.
+    pub qoe_per_slot: f64,
+}
+
+impl UserQoeAccumulator {
+    /// Creates an accumulator with the given QoE weights.
+    pub fn new(params: QoeParams) -> Self {
+        UserQoeAccumulator {
+            params,
+            tracker: VarianceTracker::new(),
+            sum_viewed_quality: 0.0,
+            sum_chosen_quality: 0.0,
+            sum_delay: 0.0,
+            hits: 0,
+        }
+    }
+
+    /// Records one slot: the allocated quality `q`, whether the delivered
+    /// portion covered the actual FoV (`hit`), and the delivery delay.
+    pub fn record(&mut self, q: QualityLevel, hit: bool, delay: f64) {
+        let viewed = if hit { q.value() } else { 0.0 };
+        self.tracker.push(viewed);
+        self.sum_viewed_quality += viewed;
+        self.sum_chosen_quality += q.value();
+        self.sum_delay += delay;
+        if hit {
+            self.hits += 1;
+        }
+    }
+
+    /// Number of slots recorded so far.
+    pub fn slots(&self) -> u64 {
+        self.tracker.count()
+    }
+
+    /// The running mean of the viewed quality, `q̄(t)` — the state the
+    /// per-slot objective needs.
+    pub fn tracker(&self) -> &VarianceTracker {
+        &self.tracker
+    }
+
+    /// Produces the horizon summary. All-zero if nothing was recorded.
+    pub fn summary(&self) -> UserQoeSummary {
+        let t = self.tracker.count();
+        if t == 0 {
+            return UserQoeSummary {
+                slots: 0,
+                avg_viewed_quality: 0.0,
+                avg_chosen_quality: 0.0,
+                avg_delay: 0.0,
+                variance: 0.0,
+                hit_rate: 0.0,
+                total_qoe: 0.0,
+                qoe_per_slot: 0.0,
+            };
+        }
+        let tf = t as f64;
+        let variance = self.tracker.variance();
+        let total_qoe = self.sum_viewed_quality
+            - self.params.alpha * self.sum_delay
+            - self.params.beta * tf * variance;
+        UserQoeSummary {
+            slots: t,
+            avg_viewed_quality: self.sum_viewed_quality / tf,
+            avg_chosen_quality: self.sum_chosen_quality / tf,
+            avg_delay: self.sum_delay / tf,
+            variance,
+            hit_rate: self.hits as f64 / tf,
+            total_qoe,
+            qoe_per_slot: total_qoe / tf,
+        }
+    }
+}
+
+/// Aggregates the per-user summaries of a multi-user run (the figures plot
+/// the average across users).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SystemQoeSummary {
+    /// Number of users aggregated.
+    pub users: usize,
+    /// Mean per-slot QoE across users.
+    pub avg_qoe: f64,
+    /// Mean viewed quality across users.
+    pub avg_quality: f64,
+    /// Mean delivery delay across users.
+    pub avg_delay: f64,
+    /// Mean viewed-quality variance across users.
+    pub avg_variance: f64,
+    /// Mean prediction hit rate across users.
+    pub avg_hit_rate: f64,
+}
+
+impl SystemQoeSummary {
+    /// Averages a set of user summaries. Returns the default (all zero) for
+    /// an empty input.
+    pub fn from_users(summaries: &[UserQoeSummary]) -> Self {
+        if summaries.is_empty() {
+            return SystemQoeSummary::default();
+        }
+        let n = summaries.len() as f64;
+        SystemQoeSummary {
+            users: summaries.len(),
+            avg_qoe: summaries.iter().map(|s| s.qoe_per_slot).sum::<f64>() / n,
+            avg_quality: summaries.iter().map(|s| s.avg_viewed_quality).sum::<f64>() / n,
+            avg_delay: summaries.iter().map(|s| s.avg_delay).sum::<f64>() / n,
+            avg_variance: summaries.iter().map(|s| s.variance).sum::<f64>() / n,
+            avg_hit_rate: summaries.iter().map(|s| s.hit_rate).sum::<f64>() / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let acc = UserQoeAccumulator::new(QoeParams::simulation_default());
+        let s = acc.summary();
+        assert_eq!(s.slots, 0);
+        assert_eq!(s.total_qoe, 0.0);
+    }
+
+    #[test]
+    fn constant_perfect_stream() {
+        let params = QoeParams::new(0.1, 0.5).unwrap();
+        let mut acc = UserQoeAccumulator::new(params);
+        for _ in 0..100 {
+            acc.record(QualityLevel::new(4), true, 0.5);
+        }
+        let s = acc.summary();
+        assert_eq!(s.slots, 100);
+        assert!((s.avg_viewed_quality - 4.0).abs() < 1e-12);
+        assert!((s.avg_chosen_quality - 4.0).abs() < 1e-12);
+        assert!((s.avg_delay - 0.5).abs() < 1e-12);
+        assert!(s.variance.abs() < 1e-12);
+        assert!((s.hit_rate - 1.0).abs() < 1e-12);
+        // QoE per slot = 4 − 0.1·0.5 − 0 = 3.95.
+        assert!((s.qoe_per_slot - 3.95).abs() < 1e-12);
+        assert!((s.total_qoe - 395.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn misses_lower_viewed_quality_and_raise_variance() {
+        let params = QoeParams::new(0.0, 1.0).unwrap();
+        let mut acc = UserQoeAccumulator::new(params);
+        acc.record(QualityLevel::new(4), true, 0.0);
+        acc.record(QualityLevel::new(4), false, 0.0);
+        let s = acc.summary();
+        assert!((s.avg_viewed_quality - 2.0).abs() < 1e-12);
+        assert!((s.avg_chosen_quality - 4.0).abs() < 1e-12);
+        assert!((s.variance - 4.0).abs() < 1e-12); // values {4, 0}
+        assert!((s.hit_rate - 0.5).abs() < 1e-12);
+        // QoE = 4 − 1·2·4 = −4 total.
+        assert!((s.total_qoe - (4.0 - 8.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_weight_applies() {
+        let params = QoeParams::new(2.0, 0.0).unwrap();
+        let mut acc = UserQoeAccumulator::new(params);
+        acc.record(QualityLevel::new(1), true, 3.0);
+        let s = acc.summary();
+        assert!((s.total_qoe - (1.0 - 6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tracker_is_exposed_for_objective_construction() {
+        let mut acc = UserQoeAccumulator::new(QoeParams::default());
+        acc.record(QualityLevel::new(2), true, 0.0);
+        assert_eq!(acc.tracker().count(), 1);
+        assert!((acc.tracker().mean() - 2.0).abs() < 1e-12);
+        assert_eq!(acc.slots(), 1);
+    }
+
+    #[test]
+    fn system_summary_averages_users() {
+        let params = QoeParams::new(0.0, 0.0).unwrap();
+        let mut a = UserQoeAccumulator::new(params);
+        let mut b = UserQoeAccumulator::new(params);
+        a.record(QualityLevel::new(2), true, 1.0);
+        b.record(QualityLevel::new(4), true, 3.0);
+        let sys = SystemQoeSummary::from_users(&[a.summary(), b.summary()]);
+        assert_eq!(sys.users, 2);
+        assert!((sys.avg_quality - 3.0).abs() < 1e-12);
+        assert!((sys.avg_delay - 2.0).abs() < 1e-12);
+        assert!((sys.avg_qoe - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn system_summary_of_empty_is_default() {
+        assert_eq!(
+            SystemQoeSummary::from_users(&[]),
+            SystemQoeSummary::default()
+        );
+    }
+}

@@ -1,0 +1,219 @@
+//! Running variance of the successfully-viewed quality, via Welford's
+//! variance-iteration formula.
+//!
+//! The QoE penalises the variance `σ_n²(T)` of the quality actually seen by
+//! the user, `x_t = q_n(t)·𝟙_n(t)` (a missed prediction counts as a viewed
+//! quality of zero). The paper's key decomposition step (Appendix A)
+//! rewrites the horizon variance as a sum of per-slot terms:
+//!
+//! ```text
+//! T·σ_n²(T) = Σ_{t=1..T} (t−1)·(x_t − q̄_n(t−1))² / t        (Eq. 4)
+//! ```
+//!
+//! which depends only on the *past* running mean `q̄_n(t−1)` — making an
+//! online algorithm possible. [`VarianceTracker`] maintains exactly the
+//! state the per-slot objective needs.
+
+use serde::{Deserialize, Serialize};
+
+/// Online mean/variance of the viewed-quality process `x_t = q_t·𝟙_t`.
+///
+/// # Examples
+///
+/// ```
+/// use cvr_core::variance::VarianceTracker;
+///
+/// let mut v = VarianceTracker::new();
+/// for x in [4.0, 4.0, 0.0, 4.0] {
+///     v.push(x);
+/// }
+/// assert_eq!(v.count(), 4);
+/// assert!((v.mean() - 3.0).abs() < 1e-12);
+/// assert!(v.variance() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct VarianceTracker {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl VarianceTracker {
+    /// Creates an empty tracker (zero observations).
+    pub fn new() -> Self {
+        VarianceTracker::default()
+    }
+
+    /// Number of observations so far (`t`).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean `q̄(t)`; zero before any observation.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance `σ²(t)`; zero before two observations.
+    pub fn variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Records the viewed quality for one slot and returns the per-slot
+    /// variance contribution `(t−1)·(x − q̄(t−1))²/t` of Eq. (4), where `t`
+    /// is the index of the slot just recorded.
+    pub fn push(&mut self, x: f64) -> f64 {
+        self.count += 1;
+        let t = self.count as f64;
+        let delta = x - self.mean;
+        let contribution = (t - 1.0) * delta * delta / t;
+        self.mean += delta / t;
+        // Welford: M2 += (x − mean_old)(x − mean_new).
+        self.m2 += delta * (x - self.mean);
+        contribution
+    }
+
+    /// The per-slot variance penalty the slot-`t+1` objective would incur if
+    /// the viewed quality were `x`, *without* recording it:
+    /// `t·(x − q̄(t))²/(t+1)` evaluated with the current state (i.e. Eq. (4)
+    /// for the upcoming slot).
+    pub fn peek_penalty(&self, x: f64) -> f64 {
+        let t_next = (self.count + 1) as f64;
+        let delta = x - self.mean;
+        (t_next - 1.0) * delta * delta / t_next
+    }
+
+    /// Expected per-slot variance penalty for choosing quality `q` in the
+    /// upcoming slot when the prediction succeeds with probability `delta`:
+    ///
+    /// ```text
+    /// δ·(t−1)(q − q̄)²/t + (1−δ)·(t−1)·q̄²/t
+    /// ```
+    ///
+    /// (here `t` is the upcoming slot index and `q̄ = q̄(t−1)` the current
+    /// running mean). This is the `β`-weighted term of `h_n` in Eq. (9).
+    pub fn expected_penalty(&self, q: f64, delta: f64) -> f64 {
+        delta * self.peek_penalty(q) + (1.0 - delta) * self.peek_penalty(0.0)
+    }
+
+    /// Resets the tracker to the empty state.
+    pub fn reset(&mut self) {
+        *self = VarianceTracker::new();
+    }
+}
+
+/// Population variance computed directly (two-pass); used to validate the
+/// Welford identity in tests and available for offline analysis.
+///
+/// # Examples
+///
+/// ```
+/// use cvr_core::variance::population_variance;
+///
+/// assert_eq!(population_variance(&[2.0, 4.0]), 1.0);
+/// assert_eq!(population_variance(&[]), 0.0);
+/// ```
+pub fn population_variance(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tracker_is_zero() {
+        let v = VarianceTracker::new();
+        assert_eq!(v.count(), 0);
+        assert_eq!(v.mean(), 0.0);
+        assert_eq!(v.variance(), 0.0);
+    }
+
+    #[test]
+    fn matches_two_pass_variance() {
+        let xs = [3.0, 5.0, 0.0, 6.0, 6.0, 1.0, 4.0];
+        let mut v = VarianceTracker::new();
+        for &x in &xs {
+            v.push(x);
+        }
+        let direct = population_variance(&xs);
+        assert!((v.variance() - direct).abs() < 1e-12);
+        assert!((v.mean() - xs.iter().sum::<f64>() / xs.len() as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq4_identity_sum_of_contributions_equals_t_sigma2() {
+        // T·σ²(T) must equal the sum of per-slot contributions (Eq. 4).
+        let xs = [2.0, 4.0, 4.0, 0.0, 6.0, 3.0, 3.0, 5.0];
+        let mut v = VarianceTracker::new();
+        let total: f64 = xs.iter().map(|&x| v.push(x)).sum();
+        let t_sigma2 = xs.len() as f64 * population_variance(&xs);
+        assert!((total - t_sigma2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn peek_matches_push_contribution() {
+        let mut v = VarianceTracker::new();
+        v.push(3.0);
+        v.push(5.0);
+        let peek = v.peek_penalty(1.0);
+        let actual = v.push(1.0);
+        assert!((peek - actual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_slot_has_zero_penalty() {
+        // With t = 1 the factor (t−1)/t is zero: the first observation can
+        // never be penalised for variance.
+        let v = VarianceTracker::new();
+        assert_eq!(v.peek_penalty(6.0), 0.0);
+        assert_eq!(v.expected_penalty(6.0, 0.5), 0.0);
+    }
+
+    #[test]
+    fn expected_penalty_mixes_hit_and_miss() {
+        let mut v = VarianceTracker::new();
+        v.push(4.0);
+        v.push(4.0);
+        // Mean is 4. A hit at q = 4 costs nothing; a miss (viewed 0) costs
+        // (t−1)/t · 16 with t = 3.
+        let miss_cost = 2.0 / 3.0 * 16.0;
+        let expected = 0.25 * 0.0 + 0.75 * miss_cost;
+        assert!((v.expected_penalty(4.0, 0.25) - expected).abs() < 1e-12);
+        // Perfect prediction removes the miss component.
+        assert_eq!(v.expected_penalty(4.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut v = VarianceTracker::new();
+        v.push(1.0);
+        v.push(9.0);
+        v.reset();
+        assert_eq!(v, VarianceTracker::new());
+    }
+
+    #[test]
+    fn constant_stream_has_zero_variance() {
+        let mut v = VarianceTracker::new();
+        for _ in 0..1000 {
+            v.push(5.0);
+        }
+        assert!(v.variance().abs() < 1e-12);
+        assert!((v.mean() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn direct_variance_of_empty_is_zero() {
+        assert_eq!(population_variance(&[]), 0.0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Property-based tests for the core invariants:
+//!
+//! * Algorithm 1 always returns a feasible assignment and dominates both
+//!   pure greedy passes.
+//! * Theorem 1: Algorithm 1 achieves at least half the exact optimum (and
+//!   of the fractional bound) on random concave instances.
+//! * The Welford tracker matches the two-pass variance and the Eq. (4)
+//!   identity on arbitrary streams.
+
+use cvr_core::alloc::{Allocator, DensityGreedy, DensityValueGreedy, GreedyOutcome, ValueGreedy};
+use cvr_core::objective::{SlotProblem, UserSlot};
+use cvr_core::offline::{
+    dp_slot_optimum, exact_slot_optimum, exhaustive_slot_optimum, fractional_upper_bound,
+};
+use cvr_core::variance::{population_variance, VarianceTracker};
+use proptest::prelude::*;
+
+/// Strategy: one user with concave values over convex-ish increasing rates.
+fn concave_user() -> impl Strategy<Value = UserSlot> {
+    (
+        2usize..=6,                            // number of levels
+        0.5f64..3.0,                           // base rate
+        prop::collection::vec(0.2f64..4.0, 5), // rate increments
+        0.0f64..2.0,                           // base value
+        0.1f64..2.0,                           // first marginal value
+        0.3f64..0.95,                          // marginal decay (concavity)
+        1.0f64..200.0,                         // link budget
+    )
+        .prop_map(|(levels, r0, dr, v0, dv0, decay, link)| {
+            let mut rates = vec![r0];
+            let mut values = vec![v0];
+            let mut dv = dv0;
+            for i in 1..levels {
+                rates.push(rates[i - 1] + dr[i - 1].max(0.2));
+                values.push(values[i - 1] + dv);
+                dv *= decay;
+            }
+            UserSlot {
+                rates,
+                values,
+                link_budget: link,
+            }
+        })
+}
+
+fn concave_problem(max_users: usize) -> impl Strategy<Value = SlotProblem> {
+    (
+        prop::collection::vec(concave_user(), 1..=max_users),
+        2.0f64..60.0,
+    )
+        .prop_map(|(users, budget)| {
+            // Ensure the baseline fits so instances are non-degenerate.
+            let base: f64 = users.iter().map(|u| u.rates[0]).sum();
+            SlotProblem::new(users, budget.max(base + 0.1)).expect("valid problem")
+        })
+}
+
+/// Arbitrary (not necessarily concave) instances for feasibility checks.
+fn arbitrary_problem() -> impl Strategy<Value = SlotProblem> {
+    (
+        prop::collection::vec(
+            (
+                prop::collection::vec(0.2f64..3.0, 1..=6),
+                prop::collection::vec(-2.0f64..4.0, 6),
+                0.5f64..50.0,
+            ),
+            1..=8,
+        ),
+        1.0f64..40.0,
+    )
+        .prop_map(|(raw, budget)| {
+            let users: Vec<UserSlot> = raw
+                .into_iter()
+                .map(|(drs, vals, link)| {
+                    let mut rates = Vec::with_capacity(drs.len());
+                    let mut acc = 0.0;
+                    for d in &drs {
+                        acc += d;
+                        rates.push(acc);
+                    }
+                    let values = vals[..rates.len()].to_vec();
+                    UserSlot {
+                        rates,
+                        values,
+                        link_budget: link,
+                    }
+                })
+                .collect();
+            let base: f64 = users.iter().map(|u| u.rates[0]).sum();
+            SlotProblem::new(users, budget.max(base + 0.1)).expect("valid problem")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn algorithm1_is_feasible(problem in arbitrary_problem()) {
+        let a = DensityValueGreedy::new().allocate(&problem);
+        prop_assert!(problem.is_feasible(&a));
+    }
+
+    #[test]
+    fn pure_passes_are_feasible(problem in arbitrary_problem()) {
+        let d = DensityGreedy::new().allocate(&problem);
+        let v = ValueGreedy::new().allocate(&problem);
+        prop_assert!(problem.is_feasible(&d));
+        prop_assert!(problem.is_feasible(&v));
+    }
+
+    #[test]
+    fn algorithm1_dominates_both_passes(problem in arbitrary_problem()) {
+        let best = problem.objective(&DensityValueGreedy::new().allocate(&problem));
+        let d = problem.objective(&DensityGreedy::new().allocate(&problem));
+        let v = problem.objective(&ValueGreedy::new().allocate(&problem));
+        prop_assert!(best >= d - 1e-9);
+        prop_assert!(best >= v - 1e-9);
+    }
+
+    #[test]
+    fn theorem1_half_of_exact_optimum(problem in concave_problem(6)) {
+        let alg = problem.objective(&DensityValueGreedy::new().allocate(&problem));
+        let opt = exact_slot_optimum(&problem).unwrap().value;
+        // Values can be negative in general; Theorem 1 is stated for the
+        // knapsack's nonnegative gains, so compare against the gain above
+        // the baseline.
+        let base = problem.objective(&problem.baseline_assignment());
+        let alg_gain = alg - base;
+        let opt_gain = opt - base;
+        prop_assert!(opt_gain >= -1e-9);
+        prop_assert!(
+            alg_gain >= 0.5 * opt_gain - 1e-9,
+            "alg gain {} below half of optimal gain {}",
+            alg_gain,
+            opt_gain
+        );
+    }
+
+    #[test]
+    fn fractional_bound_dominates_exact(problem in concave_problem(6)) {
+        let opt = exact_slot_optimum(&problem).unwrap().value;
+        let bound = fractional_upper_bound(&problem);
+        prop_assert!(bound >= opt - 1e-9, "bound {} < opt {}", bound, opt);
+    }
+
+    #[test]
+    fn branch_and_bound_matches_exhaustive(problem in concave_problem(4)) {
+        let bb = exact_slot_optimum(&problem).unwrap();
+        let ex = exhaustive_slot_optimum(&problem).unwrap();
+        prop_assert!((bb.value - ex.value).abs() < 1e-9);
+        prop_assert!(problem.is_feasible(&bb.assignment));
+    }
+
+    #[test]
+    fn dp_feasible_and_converging(problem in concave_problem(5)) {
+        let bb = exact_slot_optimum(&problem).unwrap();
+        let coarse = dp_slot_optimum(&problem, 0.5).unwrap();
+        prop_assert!(problem.is_feasible(&coarse.assignment));
+        prop_assert!(coarse.value <= bb.value + 1e-9);
+
+        let resolution = 0.005;
+        let fine = dp_slot_optimum(&problem, resolution).unwrap();
+        prop_assert!(problem.is_feasible(&fine.assignment));
+        prop_assert!(fine.value <= bb.value + 1e-9);
+        // The exact guarantee: rounding rates up by at most one grid cell
+        // per user means the DP dominates every solution that fits with
+        // `n · resolution` of budget slack.
+        let slack = resolution * problem.num_users() as f64;
+        let reduced_budget = problem.server_budget() - slack;
+        let base: f64 = problem.users().iter().map(|u| u.rates[0]).sum();
+        if reduced_budget > base {
+            let reduced =
+                SlotProblem::new(problem.users().to_vec(), reduced_budget).expect("valid");
+            let bb_reduced = exact_slot_optimum(&reduced).unwrap();
+            prop_assert!(
+                fine.value >= bb_reduced.value - 1e-9,
+                "fine dp {} below slack-reduced optimum {}",
+                fine.value,
+                bb_reduced.value
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_outcome_best_is_max_of_passes(problem in arbitrary_problem()) {
+        let o = GreedyOutcome::solve(&problem);
+        prop_assert!((o.best_value() - o.density_value.max(o.value_value)).abs() < 1e-12);
+        prop_assert_eq!(o.best().len(), problem.num_users());
+    }
+
+    #[test]
+    fn welford_matches_two_pass(xs in prop::collection::vec(0.0f64..8.0, 1..200)) {
+        let mut tracker = VarianceTracker::new();
+        for &x in &xs {
+            tracker.push(x);
+        }
+        let direct = population_variance(&xs);
+        prop_assert!((tracker.variance() - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq4_identity(xs in prop::collection::vec(0.0f64..8.0, 1..200)) {
+        let mut tracker = VarianceTracker::new();
+        let sum: f64 = xs.iter().map(|&x| tracker.push(x)).sum();
+        let t_sigma2 = xs.len() as f64 * population_variance(&xs);
+        prop_assert!((sum - t_sigma2).abs() < 1e-8);
+    }
+
+    #[test]
+    fn expected_penalty_interpolates_hit_miss(
+        xs in prop::collection::vec(0.0f64..8.0, 1..50),
+        q in 1.0f64..6.0,
+        delta in 0.0f64..1.0,
+    ) {
+        let mut tracker = VarianceTracker::new();
+        for &x in &xs {
+            tracker.push(x);
+        }
+        let hit = tracker.peek_penalty(q);
+        let miss = tracker.peek_penalty(0.0);
+        let expected = tracker.expected_penalty(q, delta);
+        let lo = hit.min(miss) - 1e-12;
+        let hi = hit.max(miss) + 1e-12;
+        prop_assert!(expected >= lo && expected <= hi);
+    }
+}

@@ -1,0 +1,49 @@
+//! # cvr-motion
+//!
+//! 6-DoF motion substrate for the collaborative VR reproduction: pose
+//! types, FoV geometry with delivery margins, synthetic motion traces
+//! (standing in for the Firefly 25-user dataset), per-axis
+//! linear-regression prediction, and online estimation of the
+//! prediction-success probability `δ_n`.
+//!
+//! ```
+//! use cvr_motion::accuracy::DeltaEstimator;
+//! use cvr_motion::fov::FovSpec;
+//! use cvr_motion::predict::LinearPredictor;
+//! use cvr_motion::synthetic::{MotionConfig, MotionGenerator};
+//!
+//! let mut generator = MotionGenerator::new(MotionConfig::paper_default(), 42);
+//! let mut predictor = LinearPredictor::paper_default();
+//! let mut delta = DeltaEstimator::average();
+//! let fov = FovSpec::paper_default();
+//!
+//! let mut pending: Option<cvr_motion::pose::Pose> = None;
+//! for _ in 0..1000 {
+//!     let actual = generator.step();
+//!     if let Some(predicted) = pending.take() {
+//!         delta.record(fov.covers(&predicted, &actual));
+//!     }
+//!     predictor.observe(&actual);
+//!     pending = predictor.predict(1);
+//! }
+//! assert!(delta.estimate() > 0.5);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod accuracy;
+pub mod fov;
+pub mod io;
+pub mod margin;
+pub mod pose;
+pub mod predict;
+pub mod synthetic;
+
+pub use accuracy::DeltaEstimator;
+pub use fov::FovSpec;
+pub use io::{read_pose_csv, write_pose_csv, TraceIoError};
+pub use margin::AdaptiveMargin;
+pub use pose::{Orientation, Pose, Vec3};
+pub use predict::LinearPredictor;
+pub use synthetic::{MotionConfig, MotionGenerator};

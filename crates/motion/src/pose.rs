@@ -1,0 +1,176 @@
+//! 6-Degree-of-Freedom poses: 3 DoF virtual position + 3 DoF head
+//! orientation, the quantity the server predicts for every user each slot.
+
+use serde::{Deserialize, Serialize};
+
+/// A position in the virtual world, in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec3 {
+    /// Horizontal axis.
+    pub x: f64,
+    /// Vertical axis (head height).
+    pub y: f64,
+    /// Depth axis.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// Creates a vector.
+    pub fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(&self, other: &Vec3) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        let dz = self.z - other.z;
+        (dx * dx + dy * dy + dz * dz).sqrt()
+    }
+
+    /// Component-wise addition.
+    pub fn add(&self, other: &Vec3) -> Vec3 {
+        Vec3::new(self.x + other.x, self.y + other.y, self.z + other.z)
+    }
+
+    /// Scales every component by `k`.
+    pub fn scale(&self, k: f64) -> Vec3 {
+        Vec3::new(self.x * k, self.y * k, self.z * k)
+    }
+}
+
+/// Head orientation as Euler angles in degrees.
+///
+/// Yaw wraps on `[−180, 180)`; pitch and roll are clamped by the generators
+/// to physically plausible ranges but the type itself allows any finite
+/// value (prediction can briefly extrapolate outside).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Orientation {
+    /// Rotation around the vertical axis, degrees in `[−180, 180)`.
+    pub yaw: f64,
+    /// Up/down tilt, degrees.
+    pub pitch: f64,
+    /// Sideways tilt, degrees.
+    pub roll: f64,
+}
+
+impl Orientation {
+    /// Creates an orientation, normalising yaw into `[−180, 180)`.
+    pub fn new(yaw: f64, pitch: f64, roll: f64) -> Self {
+        Orientation {
+            yaw: wrap_degrees(yaw),
+            pitch,
+            roll,
+        }
+    }
+}
+
+/// Normalises an angle in degrees to `[−180, 180)`.
+pub fn wrap_degrees(angle: f64) -> f64 {
+    let mut a = angle % 360.0;
+    if a < -180.0 {
+        a += 360.0;
+    } else if a >= 180.0 {
+        a -= 360.0;
+    }
+    a
+}
+
+/// Smallest absolute angular difference between two angles, in degrees
+/// (always in `[0, 180]`).
+pub fn angular_distance(a: f64, b: f64) -> f64 {
+    wrap_degrees(a - b).abs()
+}
+
+/// A full 6-DoF pose at one time slot.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Pose {
+    /// Virtual-world position (3 DoF).
+    pub position: Vec3,
+    /// Head orientation (3 DoF).
+    pub orientation: Orientation,
+}
+
+impl Pose {
+    /// Creates a pose.
+    pub fn new(position: Vec3, orientation: Orientation) -> Self {
+        Pose {
+            position,
+            orientation,
+        }
+    }
+
+    /// The six scalar components in prediction order
+    /// `[x, y, z, yaw, pitch, roll]` — the per-axis representation the
+    /// linear-regression predictor operates on.
+    pub fn components(&self) -> [f64; 6] {
+        [
+            self.position.x,
+            self.position.y,
+            self.position.z,
+            self.orientation.yaw,
+            self.orientation.pitch,
+            self.orientation.roll,
+        ]
+    }
+
+    /// Rebuilds a pose from the six components (inverse of
+    /// [`Pose::components`]); yaw is re-normalised.
+    pub fn from_components(c: [f64; 6]) -> Self {
+        Pose {
+            position: Vec3::new(c[0], c[1], c[2]),
+            orientation: Orientation::new(c[3], c[4], c[5]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec3_math() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 6.0, 3.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+        assert_eq!(a.add(&b), Vec3::new(5.0, 8.0, 6.0));
+        assert_eq!(a.scale(2.0), Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(Vec3::default(), Vec3::new(0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn wrap_degrees_normalises() {
+        assert_eq!(wrap_degrees(0.0), 0.0);
+        assert_eq!(wrap_degrees(180.0), -180.0);
+        assert_eq!(wrap_degrees(-180.0), -180.0);
+        assert_eq!(wrap_degrees(190.0), -170.0);
+        assert_eq!(wrap_degrees(-190.0), 170.0);
+        assert_eq!(wrap_degrees(540.0), -180.0);
+        assert_eq!(wrap_degrees(359.0), -1.0);
+    }
+
+    #[test]
+    fn angular_distance_is_shortest_arc() {
+        assert!((angular_distance(170.0, -170.0) - 20.0).abs() < 1e-12);
+        assert!((angular_distance(-170.0, 170.0) - 20.0).abs() < 1e-12);
+        assert!((angular_distance(10.0, 30.0) - 20.0).abs() < 1e-12);
+        assert_eq!(angular_distance(45.0, 45.0), 0.0);
+    }
+
+    #[test]
+    fn orientation_normalises_yaw() {
+        let o = Orientation::new(270.0, 10.0, 0.0);
+        assert_eq!(o.yaw, -90.0);
+        assert_eq!(o.pitch, 10.0);
+    }
+
+    #[test]
+    fn components_round_trip() {
+        let p = Pose::new(
+            Vec3::new(1.0, 1.7, -2.0),
+            Orientation::new(45.0, -10.0, 2.0),
+        );
+        let c = p.components();
+        assert_eq!(Pose::from_components(c), p);
+    }
+}

@@ -1,0 +1,34 @@
+//! # cvr-net
+//!
+//! Network substrate for the collaborative VR reproduction: synthetic
+//! throughput traces standing in for the FCC and Ghent 4G/LTE datasets,
+//! M/M/1 RTT characterisation (Fig. 1b) and Linux-`tc`-style token-bucket
+//! throttling, online EMA/polynomial estimators used in the real system's
+//! control loop, RTP/ACK packet channels, and wireless routers with
+//! co-channel interference.
+//!
+//! ```
+//! use cvr_net::trace::{TraceGeneratorConfig, TraceProfile};
+//!
+//! let config = TraceGeneratorConfig::paper_default(TraceProfile::LteLike);
+//! let trace = config.generate(42);
+//! assert!((trace.duration() - 300.0).abs() < 1e-9);
+//! assert!(trace.min() >= 20.0 && trace.max() <= 100.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod channel;
+pub mod estimate;
+pub mod queueing;
+pub mod router;
+pub mod trace;
+
+pub use channel::{AckChannel, Delivery, RtpChannel};
+pub use estimate::{
+    BandwidthEstimator, EmaEstimator, HarmonicMeanEstimator, PolyRegression, SlidingMeanEstimator,
+};
+pub use queueing::{RttSampler, TokenBucket};
+pub use router::{fair_share, InterferenceMode, WirelessRouter};
+pub use trace::{ThroughputTrace, TraceCsvError, TraceGeneratorConfig, TraceProfile};

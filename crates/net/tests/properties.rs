@@ -1,0 +1,129 @@
+//! Property-based tests for the network substrate.
+
+use cvr_net::estimate::{EmaEstimator, PolyRegression};
+use cvr_net::queueing::TokenBucket;
+use cvr_net::router::fair_share;
+use cvr_net::trace::{TraceGeneratorConfig, TraceProfile};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn traces_respect_envelope(
+        seed in 0u64..5000,
+        min in 5.0f64..40.0,
+        span in 10.0f64..80.0,
+        duration in 10.0f64..200.0,
+        lte in proptest::bool::ANY,
+    ) {
+        let cfg = TraceGeneratorConfig {
+            profile: if lte { TraceProfile::LteLike } else { TraceProfile::FccLike },
+            min_mbps: min,
+            max_mbps: min + span,
+            duration_s: duration,
+        };
+        let t = cfg.generate(seed);
+        prop_assert!((t.duration() - duration).abs() < 1e-6);
+        prop_assert!(t.min() >= min - 1e-9);
+        prop_assert!(t.max() <= min + span + 1e-9);
+        // Lookup at arbitrary times stays within the envelope, including
+        // past the end (cyclic).
+        for i in 0..20 {
+            let v = t.at(duration * i as f64 / 7.3);
+            prop_assert!(v >= min - 1e-9 && v <= min + span + 1e-9);
+        }
+    }
+
+    #[test]
+    fn ema_stays_within_observed_range(
+        weight in 0.01f64..1.0,
+        xs in prop::collection::vec(1.0f64..100.0, 1..100),
+    ) {
+        let mut e = EmaEstimator::new(weight);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for &x in &xs {
+            let v = e.update(x);
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn token_bucket_enforces_long_run_rate(
+        rate in 1.0f64..50.0,
+        burst in 0.5f64..10.0,
+        chunk in 0.05f64..2.0,
+    ) {
+        let mut tb = TokenBucket::new(rate, burst);
+        let mut sent = 0.0;
+        let horizon = 20.0;
+        let mut t = 0.0;
+        while t < horizon {
+            if tb.try_send(chunk, t) {
+                sent += chunk;
+            }
+            t += 0.01;
+        }
+        // Long-run throughput bounded by rate plus the initial burst.
+        prop_assert!(sent <= rate * horizon + burst + chunk + 1e-6);
+    }
+
+    #[test]
+    fn poly_regression_recovers_lines(
+        slope in -5.0f64..5.0,
+        intercept in -10.0f64..10.0,
+        n in 4usize..40,
+    ) {
+        let mut p = PolyRegression::new(1, 64);
+        for i in 0..n {
+            let x = i as f64 * 0.7;
+            p.observe(x, slope * x + intercept);
+        }
+        let c = p.fit().expect("enough samples");
+        prop_assert!((c[0] - intercept).abs() < 1e-6);
+        prop_assert!((c[1] - slope).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fair_share_is_feasible_and_demand_bounded(
+        capacity in 0.0f64..100.0,
+        demands in prop::collection::vec(0.0f64..50.0, 0..12),
+    ) {
+        let shares = fair_share(capacity, &demands);
+        prop_assert_eq!(shares.len(), demands.len());
+        let total: f64 = shares.iter().sum();
+        prop_assert!(total <= capacity + 1e-6);
+        for (s, d) in shares.iter().zip(&demands) {
+            prop_assert!(*s >= -1e-12);
+            prop_assert!(*s <= d + 1e-9);
+        }
+        // Pareto efficiency: leftover capacity only if all demands met.
+        if total + 1e-6 < capacity {
+            for (s, d) in shares.iter().zip(&demands) {
+                prop_assert!((s - d).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn fair_share_is_max_min_fair(
+        capacity in 1.0f64..100.0,
+        demands in prop::collection::vec(0.1f64..50.0, 2..10),
+    ) {
+        // Max–min property: if user i got strictly less than its demand,
+        // nobody else got more than (i's share + epsilon) unless their
+        // demand was below it.
+        let shares = fair_share(capacity, &demands);
+        for i in 0..demands.len() {
+            if shares[i] + 1e-9 < demands[i] {
+                for j in 0..demands.len() {
+                    prop_assert!(
+                        shares[j] <= shares[i] + 1e-6 || (shares[j] - demands[j]).abs() < 1e-6,
+                        "user {j} got {} while unsatisfied user {i} got {}",
+                        shares[j],
+                        shares[i]
+                    );
+                }
+            }
+        }
+    }
+}

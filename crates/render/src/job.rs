@@ -1,0 +1,133 @@
+//! Render/encode jobs and their GPU cost models.
+//!
+//! Section VIII of the paper: online operation would "use Unity and Nvidia
+//! NVENC to render and encode the tiles in real-time", but "the overhead
+//! of rendering and encoding for multiple quality levels makes it
+//! difficult to meet the synchronization performance". This module models
+//! that overhead: a per-tile render cost (rasterising one quadrant of the
+//! 1440p equirectangular frame) and an NVENC-like encode cost (fixed
+//! per-frame latency plus a per-megabit component that grows with the
+//! quality level).
+
+use serde::{Deserialize, Serialize};
+
+use cvr_content::grid::CellId;
+use cvr_content::tile::TileId;
+use cvr_core::quality::QualityLevel;
+
+/// One tile to render and encode for one user's upcoming frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RenderJob {
+    /// Which user the tile is for.
+    pub user: usize,
+    /// Grid cell whose panorama is rendered.
+    pub cell: CellId,
+    /// Tile within the frame.
+    pub tile: TileId,
+    /// Encoding quality level.
+    pub quality: QualityLevel,
+    /// Time the job was released (start of its slot), seconds.
+    pub release_s: f64,
+}
+
+/// GPU cost model for rendering and encoding one tile.
+///
+/// Defaults are calibrated to an RTX-3070-class GPU driving the paper's
+/// 2560×1440 equirectangular frames: rendering one quadrant tile takes on
+/// the order of a millisecond, and an NVENC session adds a fixed latency
+/// plus time proportional to the encoded bits.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Render time per tile, seconds.
+    pub render_s: f64,
+    /// Fixed encoder latency per tile, seconds.
+    pub encode_base_s: f64,
+    /// Additional encode time per megabit of output, seconds.
+    pub encode_per_mbit_s: f64,
+    /// Size of a level-4 tile in megabits (ties encode time to quality).
+    pub tile_mbit_level4: f64,
+}
+
+impl CostModel {
+    /// RTX-3070-class defaults.
+    pub fn rtx3070() -> Self {
+        CostModel {
+            render_s: 0.0012,
+            encode_base_s: 0.0015,
+            encode_per_mbit_s: 0.002,
+            tile_mbit_level4: 0.2, // 12 Mbps tile at 60 fps
+        }
+    }
+
+    /// Encoded size of one tile at `quality`, megabits. Matches the convex
+    /// per-level growth of the content size model.
+    pub fn tile_mbit(&self, quality: QualityLevel) -> f64 {
+        // Same multipliers as `TabulatedRate::paper_profile` (level 4 = 1).
+        const MULTIPLIERS: [f64; 6] = [0.3, 0.45, 0.672_2, 1.0, 1.511_1, 2.266_7];
+        let idx = quality.index().min(MULTIPLIERS.len() - 1);
+        self.tile_mbit_level4 * MULTIPLIERS[idx]
+    }
+
+    /// Render time for one tile, seconds.
+    pub fn render_time(&self, _job: &RenderJob) -> f64 {
+        self.render_s
+    }
+
+    /// Encode time for one tile at its quality level, seconds.
+    pub fn encode_time(&self, job: &RenderJob) -> f64 {
+        self.encode_base_s + self.encode_per_mbit_s * self.tile_mbit(job.quality)
+    }
+
+    /// End-to-end GPU time of a job if run alone.
+    pub fn total_time(&self, job: &RenderJob) -> f64 {
+        self.render_time(job) + self.encode_time(job)
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::rtx3070()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(q: u8) -> RenderJob {
+        RenderJob {
+            user: 0,
+            cell: CellId { x: 0, z: 0 },
+            tile: TileId::new(0),
+            quality: QualityLevel::new(q),
+            release_s: 0.0,
+        }
+    }
+
+    #[test]
+    fn encode_time_grows_with_quality() {
+        let m = CostModel::rtx3070();
+        let mut prev = 0.0;
+        for q in 1..=6 {
+            let t = m.encode_time(&job(q));
+            assert!(t > prev, "encode time must grow with quality");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn tile_sizes_match_profile_shape() {
+        let m = CostModel::rtx3070();
+        assert!((m.tile_mbit(QualityLevel::new(4)) - 0.2).abs() < 1e-12);
+        assert!(m.tile_mbit(QualityLevel::new(6)) > 2.0 * m.tile_mbit(QualityLevel::new(4)));
+    }
+
+    #[test]
+    fn total_time_is_render_plus_encode() {
+        let m = CostModel::rtx3070();
+        let j = job(4);
+        assert!((m.total_time(&j) - (m.render_time(&j) + m.encode_time(&j))).abs() < 1e-15);
+        // A single tile is fast — milliseconds.
+        assert!(m.total_time(&j) < 0.01);
+    }
+}

@@ -1,0 +1,34 @@
+//! # cvr-render
+//!
+//! Online tile rendering and encoding — the paper's Section VIII future
+//! work, built out: per-tile GPU cost models (Unity-style rasterisation +
+//! NVENC-style encoding), GPU workers with bounded encoder sessions,
+//! multi-GPU scheduling policies, and a per-slot pipeline that answers the
+//! feasibility question ("can the farm render+encode every user's tiles
+//! within a 60 FPS slot?") which motivated the paper's offline-rendering
+//! design.
+//!
+//! ```
+//! use cvr_render::job::CostModel;
+//! use cvr_render::pipeline::{classroom_jobs, RenderFarm};
+//! use cvr_render::scheduler::EarliestCompletion;
+//! use cvr_core::quality::QualityLevel;
+//!
+//! let mut farm = RenderFarm::new(4, CostModel::rtx3070(), 3, EarliestCompletion::new());
+//! let jobs = classroom_jobs(8, 3, QualityLevel::new(4), 0.0);
+//! let report = farm.run_slot(&jobs, 0.0, 1.0 / 60.0);
+//! assert_eq!(report.on_time, report.jobs); // 4 GPUs sustain the classroom
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod gpu;
+pub mod job;
+pub mod pipeline;
+pub mod scheduler;
+
+pub use gpu::{Gpu, JobCompletion};
+pub use job::{CostModel, RenderJob};
+pub use pipeline::{classroom_jobs, RenderFarm, SlotReport};
+pub use scheduler::{EarliestCompletion, GpuScheduler, RoundRobin, UserAffinity};

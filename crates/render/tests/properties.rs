@@ -1,0 +1,75 @@
+//! Property-based tests for the render farm.
+
+use cvr_core::quality::QualityLevel;
+use cvr_render::job::CostModel;
+use cvr_render::pipeline::{classroom_jobs, RenderFarm};
+use cvr_render::scheduler::{EarliestCompletion, RoundRobin};
+use proptest::prelude::*;
+
+const SLOT: f64 = 1.0 / 60.0;
+
+proptest! {
+    #[test]
+    fn report_invariants(
+        gpus in 1usize..8,
+        users in 1usize..20,
+        tiles in 1usize..4,
+        quality in 1u8..=6,
+    ) {
+        let mut farm = RenderFarm::new(gpus, CostModel::rtx3070(), 3, EarliestCompletion::new());
+        let jobs = classroom_jobs(users, tiles, QualityLevel::new(quality), 0.0);
+        let report = farm.run_slot(&jobs, 0.0, SLOT);
+        prop_assert_eq!(report.jobs, users * tiles);
+        prop_assert!(report.on_time <= report.jobs);
+        prop_assert!((0.0..=1.0).contains(&report.on_time_fraction()));
+        prop_assert!(report.makespan_s > 0.0);
+        prop_assert!(report.utilisation >= 0.0);
+    }
+
+    #[test]
+    fn more_gpus_never_hurt_makespan(
+        gpus in 1usize..6,
+        users in 1usize..16,
+        quality in 1u8..=6,
+    ) {
+        let jobs = classroom_jobs(users, 3, QualityLevel::new(quality), 0.0);
+        let mut small = RenderFarm::new(gpus, CostModel::rtx3070(), 3, EarliestCompletion::new());
+        let mut big = RenderFarm::new(gpus + 1, CostModel::rtx3070(), 3, EarliestCompletion::new());
+        let r_small = small.run_slot(&jobs, 0.0, SLOT);
+        let r_big = big.run_slot(&jobs, 0.0, SLOT);
+        prop_assert!(r_big.makespan_s <= r_small.makespan_s + 1e-9);
+        prop_assert!(r_big.on_time >= r_small.on_time);
+    }
+
+    #[test]
+    fn makespan_bounded_by_serial_execution(
+        gpus in 1usize..6,
+        users in 1usize..10,
+        quality in 1u8..=6,
+    ) {
+        let jobs = classroom_jobs(users, 3, QualityLevel::new(quality), 0.0);
+        let m = CostModel::rtx3070();
+        let serial: f64 = jobs.iter().map(|j| m.total_time(j)).sum();
+        let mut farm = RenderFarm::new(gpus, m, 3, RoundRobin::new());
+        let report = farm.run_slot(&jobs, 0.0, SLOT);
+        // No schedule can beat perfect parallelism or lose to full serial.
+        let single_job = jobs.iter().map(|j| m.total_time(j)).fold(0.0, f64::max);
+        prop_assert!(report.makespan_s >= single_job - 1e-12);
+        prop_assert!(report.makespan_s <= serial + 1e-9);
+    }
+
+    #[test]
+    fn higher_quality_never_finishes_earlier(
+        gpus in 1usize..5,
+        users in 1usize..10,
+        q in 1u8..6,
+    ) {
+        let jobs_lo = classroom_jobs(users, 3, QualityLevel::new(q), 0.0);
+        let jobs_hi = classroom_jobs(users, 3, QualityLevel::new(q + 1), 0.0);
+        let mut farm_lo = RenderFarm::new(gpus, CostModel::rtx3070(), 3, EarliestCompletion::new());
+        let mut farm_hi = RenderFarm::new(gpus, CostModel::rtx3070(), 3, EarliestCompletion::new());
+        let lo = farm_lo.run_slot(&jobs_lo, 0.0, SLOT);
+        let hi = farm_hi.run_slot(&jobs_hi, 0.0, SLOT);
+        prop_assert!(hi.makespan_s >= lo.makespan_s - 1e-12);
+    }
+}

@@ -1,0 +1,225 @@
+//! Experiment harnesses: the multi-run sweeps behind each figure, with
+//! thread-parallel execution across runs.
+
+use std::collections::BTreeMap;
+
+use crate::allocators::AllocatorKind;
+use crate::metrics::MetricDistributions;
+use crate::system::{self, SystemConfig, SystemRunResult};
+use crate::tracesim::{self, RunResult, TraceSimConfig};
+
+/// Figs. 2/3: per-algorithm CDFs of the four metrics across `runs`
+/// independent trace-simulation runs.
+#[derive(Debug, Clone, Default)]
+pub struct TraceExperimentResult {
+    /// Per-algorithm metric distributions, keyed by display label.
+    pub per_algorithm: BTreeMap<&'static str, MetricDistributions>,
+    /// Mean fractional upper bound across runs (0 unless requested).
+    pub mean_fractional_bound: f64,
+}
+
+/// Runs the Fig. 2 / Fig. 3 experiment: `runs` independent runs of the
+/// trace simulation for every algorithm in `kinds`, parallelised across
+/// runs with one OS thread per chunk.
+pub fn trace_experiment(
+    base: &TraceSimConfig,
+    kinds: &[AllocatorKind],
+    runs: usize,
+) -> TraceExperimentResult {
+    let results = parallel_map(runs, |run_idx| {
+        let config = TraceSimConfig {
+            seed: base.seed.wrapping_add(run_idx as u64 * 7919),
+            ..base.clone()
+        };
+        kinds
+            .iter()
+            .map(|&k| tracesim::run(&config, k))
+            .collect::<Vec<RunResult>>()
+    });
+
+    let mut out = TraceExperimentResult::default();
+    let mut bound_sum = 0.0;
+    let mut bound_count = 0usize;
+    for run_results in &results {
+        for r in run_results {
+            out.per_algorithm
+                .entry(r.label)
+                .or_default()
+                .push_summary(&r.summary);
+            if r.mean_fractional_bound != 0.0 {
+                bound_sum += r.mean_fractional_bound;
+                bound_count += 1;
+            }
+        }
+    }
+    if bound_count > 0 {
+        out.mean_fractional_bound = bound_sum / bound_count as f64;
+    }
+    out
+}
+
+/// Figs. 7/8: per-algorithm averages over `repetitions` full-system runs
+/// (the paper repeats each experiment five times).
+#[derive(Debug, Clone, Default)]
+pub struct SystemExperimentResult {
+    /// Averaged run results per algorithm label.
+    pub per_algorithm: BTreeMap<&'static str, SystemAverages>,
+}
+
+/// Averages of the full-system metrics across repetitions.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SystemAverages {
+    /// Mean per-slot QoE.
+    pub qoe: f64,
+    /// Mean viewed quality.
+    pub quality: f64,
+    /// Mean delivery delay (slots).
+    pub delay: f64,
+    /// Mean viewed-quality variance.
+    pub variance: f64,
+    /// Mean display FPS.
+    pub fps: f64,
+    /// Mean transfer loss rate.
+    pub loss_rate: f64,
+}
+
+impl SystemAverages {
+    fn accumulate(&mut self, r: &SystemRunResult, inv_n: f64) {
+        self.qoe += r.summary.avg_qoe * inv_n;
+        self.quality += r.summary.avg_quality * inv_n;
+        self.delay += r.summary.avg_delay * inv_n;
+        self.variance += r.summary.avg_variance * inv_n;
+        self.fps += r.fps * inv_n;
+        self.loss_rate += r.loss_rate * inv_n;
+    }
+}
+
+/// Runs a full-system experiment: every algorithm, `repetitions` seeds,
+/// parallel across repetitions.
+pub fn system_experiment(
+    base: &SystemConfig,
+    kinds: &[AllocatorKind],
+    repetitions: usize,
+) -> SystemExperimentResult {
+    let results = parallel_map(repetitions, |rep| {
+        let config = SystemConfig {
+            seed: base.seed.wrapping_add(rep as u64 * 6151),
+            ..base.clone()
+        };
+        kinds
+            .iter()
+            .map(|&k| system::run(&config, k))
+            .collect::<Vec<SystemRunResult>>()
+    });
+
+    let inv_n = 1.0 / repetitions.max(1) as f64;
+    let mut out = SystemExperimentResult::default();
+    for rep_results in &results {
+        for r in rep_results {
+            out.per_algorithm
+                .entry(r.label)
+                .or_default()
+                .accumulate(r, inv_n);
+        }
+    }
+    out
+}
+
+/// Maps `f` over `0..count` using up to `available_parallelism` worker
+/// threads, preserving index order in the output.
+fn parallel_map<T, F>(count: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if count == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(count);
+    let mut out: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<parking_lot::Mutex<&mut Option<T>>> =
+        out.iter_mut().map(parking_lot::Mutex::new).collect();
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if idx >= count {
+                    break;
+                }
+                let value = f(idx);
+                **slots[idx].lock() = Some(value);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    drop(slots);
+
+    out.into_iter()
+        .map(|v| v.expect("all indices computed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvr_core::objective::QoeParams;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let v = parallel_map(100, |i| i * i);
+        assert_eq!(v.len(), 100);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i * i);
+        }
+        assert!(parallel_map(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn trace_experiment_collects_all_algorithms() {
+        let base = TraceSimConfig {
+            duration_s: 3.0,
+            ..TraceSimConfig::paper_default(2, 50)
+        };
+        let kinds = AllocatorKind::paper_set(true);
+        let result = trace_experiment(&base, &kinds, 4);
+        assert_eq!(result.per_algorithm.len(), 4);
+        for (label, dists) in &result.per_algorithm {
+            assert_eq!(dists.qoe.len(), 4, "{label} missing runs");
+        }
+    }
+
+    #[test]
+    fn trace_experiment_ordering_matches_paper() {
+        // Over a handful of short runs, ours ≥ firefly on mean QoE and the
+        // optimal tracks ours from above.
+        let base = TraceSimConfig {
+            duration_s: 8.0,
+            ..TraceSimConfig::paper_default(3, 77)
+        };
+        let kinds = AllocatorKind::paper_set(true);
+        let result = trace_experiment(&base, &kinds, 6);
+        let mean = |label: &str| result.per_algorithm.get(label).expect("present").qoe.mean();
+        assert!(mean("ours") > mean("firefly"));
+        assert!(mean("optimal") >= mean("ours") - 0.05 * mean("ours").abs());
+    }
+
+    #[test]
+    fn system_experiment_averages_repetitions() {
+        let base = SystemConfig {
+            num_users: 3,
+            duration_s: 3.0,
+            params: QoeParams::system_default(),
+            ..SystemConfig::setup1(9)
+        };
+        let kinds = [AllocatorKind::DensityValueGreedy, AllocatorKind::Firefly];
+        let result = system_experiment(&base, &kinds, 3);
+        assert_eq!(result.per_algorithm.len(), 2);
+        let ours = result.per_algorithm["ours"];
+        assert!(ours.fps > 0.0 && ours.fps <= 60.0);
+    }
+}

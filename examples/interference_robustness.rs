@@ -1,0 +1,67 @@
+//! The paper's robustness claim, demonstrated: moving from one router
+//! (setup 1) to two bridged routers with co-channel interference (setup 2)
+//! barely hurts the paper's algorithm but cripples the estimation-driven
+//! baselines — "our algorithm is robust to such imperfect information".
+//!
+//! Run: `cargo run --release --example interference_robustness`
+
+use collaborative_vr::prelude::*;
+use collaborative_vr::sim::system;
+
+fn main() {
+    let seed = 11;
+    let setups = [
+        (
+            "setup 1: one router, 8 phones",
+            SystemConfig {
+                duration_s: 30.0,
+                ..SystemConfig::setup1(seed)
+            },
+        ),
+        (
+            "setup 2: two routers, 15 phones",
+            SystemConfig {
+                duration_s: 30.0,
+                ..SystemConfig::setup2(seed)
+            },
+        ),
+    ];
+    let kinds = [
+        AllocatorKind::DensityValueGreedy,
+        AllocatorKind::Pavq,
+        AllocatorKind::Firefly,
+    ];
+
+    let mut qoe = [[0.0f64; 3]; 2];
+    for (si, (name, config)) in setups.iter().enumerate() {
+        println!("\n{name}");
+        println!(
+            "{:<10} {:>8} {:>7} {:>9}",
+            "algorithm", "QoE", "FPS", "delay"
+        );
+        for (ki, kind) in kinds.iter().enumerate() {
+            let r = system::run(config, *kind);
+            qoe[si][ki] = r.summary.avg_qoe;
+            println!(
+                "{:<10} {:>8.3} {:>7.1} {:>9.3}",
+                kind.label(),
+                r.summary.avg_qoe,
+                r.fps,
+                r.summary.avg_delay
+            );
+        }
+    }
+
+    println!("\nQoE retained moving into the interference regime:");
+    for (ki, kind) in kinds.iter().enumerate() {
+        let retained = if qoe[0][ki].abs() > 1e-9 {
+            100.0 * qoe[1][ki] / qoe[0][ki]
+        } else {
+            0.0
+        };
+        println!("  {:<10} {:>6.1}%", kind.label(), retained);
+    }
+    println!("\nThe paper's observation: baselines are 'vulnerable to the dynamic");
+    println!("network environment ... due to the inaccurate throughput estimation',");
+    println!("while the delay-aware, variance-aware allocation stays effective.");
+}

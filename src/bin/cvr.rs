@@ -1,0 +1,273 @@
+//! `cvr` — command-line experiment runner for the collaborative VR
+//! reproduction.
+//!
+//! ```text
+//! cvr trace   [--users N] [--seconds S] [--seed X] [--alpha A] [--beta B]
+//! cvr system  [--setup 1|2] [--seconds S] [--seed X] [--loss P]
+//! cvr sweep-users  [--seconds S] [--seed X]
+//! cvr render  [--gpus G] [--users N] [--quality Q]
+//! ```
+//!
+//! Each subcommand prints a human-readable comparison table for the
+//! paper's algorithm and both baselines.
+
+use collaborative_vr::core::objective::QoeParams;
+use collaborative_vr::render::job::CostModel;
+use collaborative_vr::render::pipeline::{classroom_jobs, RenderFarm};
+use collaborative_vr::render::scheduler::EarliestCompletion;
+use collaborative_vr::sim::allocators::AllocatorKind;
+use collaborative_vr::sim::system::{self, SystemConfig};
+use collaborative_vr::sim::tracesim::{self, TraceSimConfig};
+
+#[derive(Debug, Default)]
+struct Args {
+    users: Option<usize>,
+    seconds: Option<f64>,
+    seed: u64,
+    alpha: Option<f64>,
+    beta: Option<f64>,
+    setup: u8,
+    loss: Option<f64>,
+    gpus: usize,
+    quality: u8,
+    timeseries: Option<String>,
+}
+
+fn parse() -> (String, Args) {
+    let mut args = Args {
+        seed: 2022,
+        setup: 1,
+        gpus: 4,
+        quality: 4,
+        ..Args::default()
+    };
+    let sub = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| usage("missing subcommand"));
+    let mut it = std::env::args().skip(2);
+    while let Some(flag) = it.next() {
+        let mut take = |name: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| usage(&format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--users" => {
+                args.users = Some(
+                    take("--users")
+                        .parse()
+                        .unwrap_or_else(|_| usage("bad --users")),
+                )
+            }
+            "--seconds" => {
+                args.seconds = Some(
+                    take("--seconds")
+                        .parse()
+                        .unwrap_or_else(|_| usage("bad --seconds")),
+                )
+            }
+            "--seed" => {
+                args.seed = take("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --seed"))
+            }
+            "--alpha" => {
+                args.alpha = Some(
+                    take("--alpha")
+                        .parse()
+                        .unwrap_or_else(|_| usage("bad --alpha")),
+                )
+            }
+            "--beta" => {
+                args.beta = Some(
+                    take("--beta")
+                        .parse()
+                        .unwrap_or_else(|_| usage("bad --beta")),
+                )
+            }
+            "--setup" => {
+                args.setup = take("--setup")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --setup"))
+            }
+            "--loss" => {
+                args.loss = Some(
+                    take("--loss")
+                        .parse()
+                        .unwrap_or_else(|_| usage("bad --loss")),
+                )
+            }
+            "--gpus" => {
+                args.gpus = take("--gpus")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --gpus"))
+            }
+            "--quality" => {
+                args.quality = take("--quality")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --quality"))
+            }
+            "--timeseries" => args.timeseries = Some(take("--timeseries")),
+            other => usage(&format!("unknown flag `{other}`")),
+        }
+    }
+    (sub, args)
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}\n");
+    eprintln!("usage:");
+    eprintln!("  cvr trace   [--users N] [--seconds S] [--seed X] [--alpha A] [--beta B] [--timeseries FILE]");
+    eprintln!("  cvr system  [--setup 1|2] [--seconds S] [--seed X] [--loss P]");
+    eprintln!("  cvr sweep-users [--seconds S] [--seed X]");
+    eprintln!("  cvr render  [--gpus G] [--users N] [--quality Q]");
+    std::process::exit(2);
+}
+
+fn cmd_trace(args: &Args) {
+    let users = args.users.unwrap_or(5);
+    let mut config = TraceSimConfig {
+        duration_s: args.seconds.unwrap_or(60.0),
+        record_timeseries: args.timeseries.is_some(),
+        ..TraceSimConfig::paper_default(users, args.seed)
+    };
+    if let (Some(a), Some(b)) = (
+        args.alpha.or(Some(config.params.alpha)),
+        args.beta.or(Some(config.params.beta)),
+    ) {
+        config.params = QoeParams::new(a, b).unwrap_or_else(|e| usage(&e.to_string()));
+    }
+    println!(
+        "trace simulation: {users} users, {:.0} s, α = {}, β = {}\n",
+        config.duration_s, config.params.alpha, config.params.beta
+    );
+    println!(
+        "{:<10} {:>8} {:>9} {:>9} {:>10}",
+        "algorithm", "QoE", "quality", "delay", "variance"
+    );
+    let mut kinds = vec![
+        AllocatorKind::DensityValueGreedy,
+        AllocatorKind::Pavq,
+        AllocatorKind::Firefly,
+    ];
+    if users <= 8 {
+        kinds.push(AllocatorKind::Optimal);
+    }
+    for kind in kinds {
+        let r = tracesim::run(&config, kind);
+        println!(
+            "{:<10} {:>8.3} {:>9.3} {:>9.3} {:>10.3}",
+            kind.label(),
+            r.summary.avg_qoe,
+            r.summary.avg_quality,
+            r.summary.avg_delay,
+            r.summary.avg_variance
+        );
+        if kind == AllocatorKind::DensityValueGreedy {
+            if let (Some(path), Some(ts)) = (&args.timeseries, &r.timeseries) {
+                let file = std::fs::File::create(path)
+                    .unwrap_or_else(|e| usage(&format!("cannot create {path}: {e}")));
+                ts.to_csv(file)
+                    .unwrap_or_else(|e| usage(&format!("cannot write {path}: {e}")));
+                println!("  (wrote per-slot series for `ours` to {path})");
+            }
+        }
+    }
+}
+
+fn cmd_system(args: &Args) {
+    let mut config = match args.setup {
+        1 => SystemConfig::setup1(args.seed),
+        2 => SystemConfig::setup2(args.seed),
+        _ => usage("--setup must be 1 or 2"),
+    };
+    if let Some(s) = args.seconds {
+        config.duration_s = s;
+    }
+    if let Some(u) = args.users {
+        config.num_users = u;
+    }
+    if let Some(l) = args.loss {
+        config.packet_loss_probability = l;
+    }
+    println!(
+        "full system: setup {}, {} users, {} router(s), {:.0} s\n",
+        args.setup, config.num_users, config.num_routers, config.duration_s
+    );
+    println!(
+        "{:<10} {:>8} {:>9} {:>7} {:>9} {:>9}",
+        "algorithm", "QoE", "quality", "FPS", "delay", "loss"
+    );
+    for kind in [
+        AllocatorKind::DensityValueGreedy,
+        AllocatorKind::LossAwareGreedy,
+        AllocatorKind::Pavq,
+        AllocatorKind::Firefly,
+    ] {
+        let r = system::run(&config, kind);
+        println!(
+            "{:<10} {:>8.3} {:>9.3} {:>7.1} {:>9.3} {:>9.4}",
+            kind.label(),
+            r.summary.avg_qoe,
+            r.summary.avg_quality,
+            r.fps,
+            r.summary.avg_delay,
+            r.loss_rate
+        );
+    }
+}
+
+fn cmd_sweep_users(args: &Args) {
+    println!("user-count sweep (trace simulation, ours)\n");
+    println!(
+        "{:<7} {:>8} {:>9} {:>9}",
+        "users", "QoE", "quality", "delay"
+    );
+    for users in [2usize, 5, 10, 15, 30, 60] {
+        let config = TraceSimConfig {
+            duration_s: args.seconds.unwrap_or(30.0),
+            ..TraceSimConfig::paper_default(users, args.seed)
+        };
+        let r = tracesim::run(&config, AllocatorKind::DensityValueGreedy);
+        println!(
+            "{:<7} {:>8.3} {:>9.3} {:>9.3}",
+            users, r.summary.avg_qoe, r.summary.avg_quality, r.summary.avg_delay
+        );
+    }
+}
+
+fn cmd_render(args: &Args) {
+    let users = args.users.unwrap_or(8);
+    let quality = collaborative_vr::core::quality::QualityLevel::new(args.quality.clamp(1, 6));
+    let slot = 1.0 / 60.0;
+    let mut farm = RenderFarm::new(
+        args.gpus,
+        CostModel::rtx3070(),
+        3,
+        EarliestCompletion::new(),
+    );
+    let jobs = classroom_jobs(users, 3, quality, 0.0);
+    let report = farm.run_slot(&jobs, 0.0, slot);
+    println!(
+        "online render/encode: {} GPUs, {users} users × 3 tiles at {quality}",
+        args.gpus
+    );
+    println!(
+        "jobs {}  on-time {:.0}%  makespan {:.2} ms (budget {:.2} ms)  utilisation {:.2}",
+        report.jobs,
+        100.0 * report.on_time_fraction(),
+        report.makespan_s * 1000.0,
+        slot * 1000.0,
+        report.utilisation
+    );
+}
+
+fn main() {
+    let (sub, args) = parse();
+    match sub.as_str() {
+        "trace" => cmd_trace(&args),
+        "system" => cmd_system(&args),
+        "sweep-users" => cmd_sweep_users(&args),
+        "render" => cmd_render(&args),
+        other => usage(&format!("unknown subcommand `{other}`")),
+    }
+}

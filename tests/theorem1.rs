@@ -1,0 +1,105 @@
+//! Integration-level validation of Theorem 1 on paper-realistic problem
+//! instances: slot problems built from the *actual* content/motion/network
+//! substrates rather than synthetic tables.
+
+use collaborative_vr::core::objective::h_value;
+use collaborative_vr::core::offline::{exact_slot_optimum, fractional_upper_bound};
+use collaborative_vr::prelude::*;
+
+/// The test actually assembles problems directly with `SlotProblem::new`.
+fn realistic_problem_direct(seed: u64, users: usize) -> SlotProblem {
+    use collaborative_vr::core::objective::UserSlot;
+    let library = ContentLibrary::paper_default();
+    let params = QoeParams::simulation_default();
+    let mut user_slots = Vec::new();
+    for u in 0..users {
+        let mut generator = MotionGenerator::new(
+            MotionConfig::paper_default(),
+            seed.wrapping_mul(31).wrapping_add(u as u64),
+        );
+        let mut tracker = VarianceTracker::new();
+        for i in 0..40 {
+            tracker.push(f64::from(1 + ((i + u) % 4) as u8));
+        }
+        let pose = generator.take_trace(50).pop().expect("nonempty");
+        let request = library.request_for(&pose);
+        let trace = TraceGeneratorConfig::paper_default(if u % 2 == 0 {
+            TraceProfile::FccLike
+        } else {
+            TraceProfile::LteLike
+        })
+        .generate(seed ^ u as u64);
+        let link = trace.at(10.0);
+        let delay = Mm1Delay::new(link).expect("positive");
+        let levels = request.rate_table.max_level().get();
+        let mut rates = Vec::new();
+        let mut values = Vec::new();
+        for l in 1..=levels {
+            let q = QualityLevel::new(l);
+            rates.push(RateFunction::rate(&request.rate_table, q));
+            values.push(h_value(
+                params,
+                0.93,
+                &tracker,
+                &request.rate_table,
+                &delay,
+                q,
+            ));
+        }
+        user_slots.push(UserSlot {
+            rates,
+            values,
+            link_budget: link,
+        });
+    }
+    SlotProblem::new(user_slots, 36.0 * users as f64).expect("valid problem")
+}
+
+#[test]
+fn theorem1_on_realistic_instances() {
+    for seed in 0..30u64 {
+        let problem = realistic_problem_direct(seed, 5);
+        let assignment = DensityValueGreedy::new().allocate(&problem);
+        assert!(problem.is_feasible(&assignment));
+        let achieved = problem.objective(&assignment);
+        let opt = exact_slot_optimum(&problem).expect("small instance").value;
+        let base = problem.objective(&problem.baseline_assignment());
+        assert!(
+            achieved - base >= 0.5 * (opt - base) - 1e-9,
+            "seed {seed}: achieved gain {} < half of optimal gain {}",
+            achieved - base,
+            opt - base
+        );
+    }
+}
+
+#[test]
+fn fractional_bound_certifies_realistic_instances() {
+    for seed in 0..30u64 {
+        let problem = realistic_problem_direct(seed, 8);
+        let opt = exact_slot_optimum(&problem).expect("small instance").value;
+        let bound = fractional_upper_bound(&problem);
+        assert!(
+            bound >= opt - 1e-9,
+            "seed {seed}: bound {bound} < opt {opt}"
+        );
+    }
+}
+
+#[test]
+fn greedy_is_near_optimal_on_realistic_instances() {
+    // The paper observes near-optimality in practice, far above the 1/2
+    // worst case. Check the average ratio over realistic instances.
+    let mut ratios = Vec::new();
+    for seed in 100..160u64 {
+        let problem = realistic_problem_direct(seed, 5);
+        let achieved = problem.objective(&DensityValueGreedy::new().allocate(&problem));
+        let opt = exact_slot_optimum(&problem).expect("small instance").value;
+        let base = problem.objective(&problem.baseline_assignment());
+        if opt - base > 1e-9 {
+            ratios.push((achieved - base) / (opt - base));
+        }
+    }
+    let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    assert!(mean > 0.95, "mean ratio {mean} unexpectedly low");
+}
