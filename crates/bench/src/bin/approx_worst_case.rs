@@ -21,11 +21,13 @@ use cvr_core::offline::exact_slot_optimum;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
+/// Per user: (base rate, per-level (Δrate, Δvalue) increments, link).
+type RawUser = (f64, Vec<(f64, f64)>, f64);
+
 /// Raw instance the search perturbs: per-user increments, plus a budget.
 #[derive(Clone, Debug)]
 struct Instance {
-    /// Per user: (base rate, per-level (Δrate, Δvalue) increments, link).
-    users: Vec<(f64, Vec<(f64, f64)>, f64)>,
+    users: Vec<RawUser>,
     budget_slack: f64,
 }
 

@@ -1,0 +1,401 @@
+//! Before/after benchmark of the per-slot hot path. The "before" path is
+//! the pipeline the simulators ran every slot prior to the slot engine:
+//! per-level `video_ids` / `partition_wanted` vectors, per-level tile-size
+//! hashing, fresh `Vec<UserSlot>`, `SlotProblem::new` validation, and a
+//! freshly allocated `GreedyOutcome::solve`. The "after" path is the
+//! buffer-reusing [`SlotEngine`] with `tile_rate_row` (one complexity hash
+//! per tile) and `is_delivered` checks. Verifies the two paths return
+//! identical assignments on every benchmarked slot, measures slots/sec and
+//! per-stage p50/p99 for both experimental setups (8 users @ 400 Mbps,
+//! 15 users @ 800 Mbps), runs short instrumented full-system simulations,
+//! and dumps everything to `BENCH_slot_engine.json` at the repository root.
+//!
+//! Run: `cargo run -p cvr-bench --release --bin slot_engine [--quick]`
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use cvr_bench::FigureArgs;
+use cvr_content::cache::DeliveryLedger;
+use cvr_content::id::VideoId;
+use cvr_content::library::{ContentLibrary, ContentRequest};
+use cvr_core::alloc::GreedyOutcome;
+use cvr_core::engine::SlotEngine;
+use cvr_core::objective::{SlotProblem, UserSlot};
+use cvr_core::quality::QualityLevel;
+use cvr_motion::synthetic::{MotionConfig, MotionGenerator};
+use cvr_sim::allocators::AllocatorKind;
+use cvr_sim::metrics::{SlotTimingReport, StageStats};
+use cvr_sim::system::{self, ObjectiveMode, SystemConfig};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Control/pose-stream overhead constant mirrored from the system loop.
+const CONTROL_OVERHEAD_MBPS: f64 = 0.2;
+
+/// Pre-generated inputs for every benchmarked slot: content requests from
+/// real synthetic motion plus random objective values and link budgets, so
+/// generation cost stays out of the timed loops.
+struct Workload {
+    name: &'static str,
+    users: usize,
+    levels: usize,
+    server_budget: f64,
+    slots: usize,
+    library: ContentLibrary,
+    ledgers: Vec<DeliveryLedger>,
+    /// `[slot × users]` tile requests resolved from predicted poses.
+    requests: Vec<ContentRequest>,
+    /// `[slot × users × levels]` concave objective values.
+    values: Vec<f64>,
+    /// `[slot × users]` link budgets.
+    links: Vec<f64>,
+}
+
+impl Workload {
+    fn generate(
+        name: &'static str,
+        users: usize,
+        levels: usize,
+        server_budget: f64,
+        slots: usize,
+        seed: u64,
+    ) -> Self {
+        let library = ContentLibrary::paper_default();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut motion: Vec<MotionGenerator> = (0..users)
+            .map(|u| {
+                MotionGenerator::new(
+                    MotionConfig::paper_default(),
+                    seed.wrapping_mul(0xA24B_AED4).wrapping_add(u as u64),
+                )
+            })
+            .collect();
+        let mut requests = Vec::with_capacity(slots * users);
+        let mut values = Vec::with_capacity(slots * users * levels);
+        let mut links = Vec::with_capacity(slots * users);
+        for _ in 0..slots {
+            for g in &mut motion {
+                let pose = g.step();
+                requests.push(library.request_for(&pose));
+                let mut value = rng.gen_range(0.0..1.0);
+                let mut dv = rng.gen_range(0.2..2.0);
+                for _ in 0..levels {
+                    values.push(value);
+                    value += dv;
+                    dv *= 0.6;
+                }
+                links.push(rng.gen_range(20.0..100.0));
+            }
+        }
+        Workload {
+            name,
+            users,
+            levels,
+            server_budget,
+            slots,
+            library,
+            ledgers: (0..users).map(|_| DeliveryLedger::new()).collect(),
+            requests,
+            values,
+            links,
+        }
+    }
+
+    fn request(&self, slot: usize, user: usize) -> &ContentRequest {
+        &self.requests[slot * self.users + user]
+    }
+
+    fn user_values(&self, slot: usize, user: usize) -> &[f64] {
+        let start = (slot * self.users + user) * self.levels;
+        &self.values[start..start + self.levels]
+    }
+
+    fn link(&self, slot: usize, user: usize) -> f64 {
+        self.links[slot * self.users + user]
+    }
+
+    /// The pre-engine hot path: per-level wanted/partition vectors with
+    /// per-level tile hashing, fresh user vectors, validated problem,
+    /// freshly allocated greedy passes — every slot.
+    fn solve_before(&self, slot: usize) -> GreedyOutcome {
+        let users: Vec<UserSlot> = (0..self.users)
+            .map(|u| {
+                let request = self.request(slot, u);
+                let mut rates = Vec::with_capacity(self.levels);
+                for l in 1..=self.levels {
+                    let q = QualityLevel::new(l as u8);
+                    let wanted = request.video_ids(q);
+                    let (to_send, _held) = self.ledgers[u].partition_wanted(&wanted);
+                    let raw: f64 = to_send
+                        .iter()
+                        .map(|id| {
+                            self.library
+                                .sizing()
+                                .tile_rate_mbps(id.cell(), id.tile(), q)
+                        })
+                        .sum::<f64>()
+                        + CONTROL_OVERHEAD_MBPS;
+                    rates.push(raw);
+                }
+                UserSlot {
+                    rates,
+                    values: self.user_values(slot, u).to_vec(),
+                    link_budget: self.link(slot, u),
+                }
+            })
+            .collect();
+        let problem = SlotProblem::new(users, self.server_budget).expect("valid workload");
+        GreedyOutcome::solve(&problem)
+    }
+
+    /// The engine hot path: one complexity hash per tile via
+    /// `tile_rate_row`, per-(tile, level) `is_delivered` checks, reused
+    /// tables, solve in place.
+    fn stage_into(&self, slot: usize, engine: &mut SlotEngine, tile_row: &mut [f64]) {
+        engine.begin_slot(self.server_budget);
+        for u in 0..self.users {
+            let request = self.request(slot, u);
+            let tables = engine.add_user(self.levels, self.link(slot, u));
+            for &tile in &request.tiles {
+                self.library
+                    .sizing()
+                    .tile_rate_row(request.cell, tile, tile_row);
+                for l in 1..=self.levels {
+                    let q = QualityLevel::new(l as u8);
+                    if !self.ledgers[u].is_delivered(&VideoId::new(request.cell, tile, q)) {
+                        tables.rates[q.index()] += tile_row[q.index()];
+                    }
+                }
+            }
+            for rate in tables.rates.iter_mut() {
+                *rate += CONTROL_OVERHEAD_MBPS;
+            }
+            tables.values.copy_from_slice(self.user_values(slot, u));
+        }
+    }
+}
+
+struct PathTiming {
+    wall_s: f64,
+    slots_per_sec: f64,
+    stages: Vec<(&'static str, StageStats)>,
+}
+
+fn bench_workload(w: &Workload) -> (PathTiming, PathTiming, bool) {
+    // Correctness first: both paths must agree on every slot.
+    let mut engine = SlotEngine::new();
+    let mut tile_row = vec![0.0f64; w.levels];
+    let mut identical = true;
+    for slot in 0..w.slots {
+        let before = w.solve_before(slot);
+        w.stage_into(slot, &mut engine, &mut tile_row);
+        if engine.solve() != before.best() {
+            identical = false;
+        }
+    }
+
+    // Warm-up, then pure wall-clock throughput (no per-stage probes).
+    let warmup = (w.slots / 10).max(1);
+    for slot in 0..warmup {
+        black_box(w.solve_before(slot).best_value());
+    }
+    let start = Instant::now();
+    for slot in 0..w.slots {
+        black_box(w.solve_before(slot).best_value());
+    }
+    let before_wall = start.elapsed().as_secs_f64();
+
+    for slot in 0..warmup {
+        w.stage_into(slot, &mut engine, &mut tile_row);
+        black_box(engine.solve().len());
+    }
+    engine.timers_mut().clear();
+    let start = Instant::now();
+    for slot in 0..w.slots {
+        w.stage_into(slot, &mut engine, &mut tile_row);
+        black_box(engine.solve().len());
+    }
+    let after_wall = start.elapsed().as_secs_f64();
+
+    // Separate per-stage timing loops (probe overhead kept out of the
+    // throughput numbers above).
+    let mut before_build_ns = Vec::with_capacity(w.slots);
+    let mut before_solve_ns = Vec::with_capacity(w.slots);
+    for slot in 0..w.slots {
+        let t = Instant::now();
+        let users: Vec<UserSlot> = (0..w.users)
+            .map(|u| {
+                let request = w.request(slot, u);
+                let mut rates = Vec::with_capacity(w.levels);
+                for l in 1..=w.levels {
+                    let q = QualityLevel::new(l as u8);
+                    let wanted = request.video_ids(q);
+                    let (to_send, _held) = w.ledgers[u].partition_wanted(&wanted);
+                    let raw: f64 = to_send
+                        .iter()
+                        .map(|id| w.library.sizing().tile_rate_mbps(id.cell(), id.tile(), q))
+                        .sum::<f64>()
+                        + CONTROL_OVERHEAD_MBPS;
+                    rates.push(raw);
+                }
+                UserSlot {
+                    rates,
+                    values: w.user_values(slot, u).to_vec(),
+                    link_budget: w.link(slot, u),
+                }
+            })
+            .collect();
+        let problem = SlotProblem::new(users, w.server_budget).expect("valid workload");
+        before_build_ns.push(t.elapsed().as_nanos() as u64);
+        let t = Instant::now();
+        black_box(GreedyOutcome::solve(&problem).best_value());
+        before_solve_ns.push(t.elapsed().as_nanos() as u64);
+    }
+
+    engine.timers_mut().clear();
+    let mut after_build_ns = Vec::with_capacity(w.slots);
+    for slot in 0..w.slots {
+        let t = Instant::now();
+        w.stage_into(slot, &mut engine, &mut tile_row);
+        after_build_ns.push(t.elapsed().as_nanos() as u64);
+        black_box(engine.solve().len());
+    }
+
+    let before = PathTiming {
+        wall_s: before_wall,
+        slots_per_sec: w.slots as f64 / before_wall,
+        stages: vec![
+            ("build", StageStats::from_ns_samples(&before_build_ns)),
+            ("solve", StageStats::from_ns_samples(&before_solve_ns)),
+        ],
+    };
+    let after = PathTiming {
+        wall_s: after_wall,
+        slots_per_sec: w.slots as f64 / after_wall,
+        stages: vec![
+            ("build", StageStats::from_ns_samples(&after_build_ns)),
+            (
+                "density",
+                StageStats::from_ns_samples(engine.timers().density.samples_ns()),
+            ),
+            (
+                "value",
+                StageStats::from_ns_samples(engine.timers().value.samples_ns()),
+            ),
+        ],
+    };
+    (before, after, identical)
+}
+
+fn stage_json(s: &StageStats) -> String {
+    format!(
+        "{{\"count\": {}, \"total_ms\": {:.3}, \"mean_us\": {:.3}, \"p50_us\": {:.3}, \"p99_us\": {:.3}}}",
+        s.count, s.total_ms, s.mean_us, s.p50_us, s.p99_us
+    )
+}
+
+fn path_json(p: &PathTiming) -> String {
+    let stages: Vec<String> = p
+        .stages
+        .iter()
+        .map(|(name, s)| format!("\"{name}\": {}", stage_json(s)))
+        .collect();
+    format!(
+        "{{\"wall_s\": {:.4}, \"slots_per_sec\": {:.1}, \"stages\": {{{}}}}}",
+        p.wall_s,
+        p.slots_per_sec,
+        stages.join(", ")
+    )
+}
+
+fn report_json(r: &SlotTimingReport) -> String {
+    format!(
+        "{{\"slots\": {}, \"wall_s\": {:.4}, \"slots_per_sec\": {:.1}, \"stages\": {{\"build\": {}, \"density\": {}, \"value\": {}, \"accounting\": {}}}}}",
+        r.slots,
+        r.wall_s,
+        r.slots_per_sec,
+        stage_json(&r.build),
+        stage_json(&r.density),
+        stage_json(&r.value),
+        stage_json(&r.accounting)
+    )
+}
+
+fn main() {
+    let args = FigureArgs::parse();
+    let slots = ((10_000.0 * args.scale) as usize).max(200);
+    let sim_duration = args.duration_or(10.0);
+
+    let workloads = [
+        Workload::generate("setup1", 8, 6, 400.0, slots, args.seed),
+        Workload::generate("setup2", 15, 6, 800.0, slots, args.seed ^ 0xBEEF),
+    ];
+
+    let mut synthetic_entries = Vec::new();
+    println!("# Slot-engine hot-path benchmark ({slots} slots per setup)\n");
+    for w in &workloads {
+        let (before, after, identical) = bench_workload(w);
+        let speedup = after.slots_per_sec / before.slots_per_sec;
+        println!(
+            "{}: {} users — before {:>10.0} slots/s, after {:>10.0} slots/s, speedup {:.2}x, identical assignments: {}",
+            w.name, w.users, before.slots_per_sec, after.slots_per_sec, speedup, identical
+        );
+        assert!(identical, "{}: engine diverged from allocator", w.name);
+        synthetic_entries.push(format!(
+            "    {{\"name\": \"{}\", \"users\": {}, \"levels\": {}, \"server_budget_mbps\": {:.0}, \"slots\": {}, \"assignments_identical\": {}, \"before\": {}, \"after\": {}, \"speedup\": {:.3}}}",
+            w.name,
+            w.users,
+            w.levels,
+            w.server_budget,
+            w.slots,
+            identical,
+            path_json(&before),
+            path_json(&after),
+            speedup
+        ));
+    }
+
+    // Short instrumented full-system runs: the same engine inside the real
+    // Sections V–VI loop, with build/accounting recorded around it.
+    let mut system_entries = Vec::new();
+    for (name, config) in [
+        ("setup1", SystemConfig::setup1(args.seed)),
+        ("setup2", SystemConfig::setup2(args.seed)),
+    ] {
+        let config = SystemConfig {
+            duration_s: sim_duration,
+            ..config
+        };
+        let mut allocator = AllocatorKind::DensityValueGreedy.build();
+        let (_, report) =
+            system::run_instrumented(&config, &mut allocator, "ours", ObjectiveMode::DelayAware);
+        println!(
+            "system {}: {} users — {:.0} slots/s (build p50 {:.1} µs, density p50 {:.1} µs, value p50 {:.1} µs, accounting p50 {:.1} µs)",
+            name,
+            config.num_users,
+            report.slots_per_sec,
+            report.build.p50_us,
+            report.density.p50_us,
+            report.value.p50_us,
+            report.accounting.p50_us
+        );
+        system_entries.push(format!(
+            "    {{\"name\": \"{}\", \"users\": {}, \"duration_s\": {:.1}, \"report\": {}}}",
+            name,
+            config.num_users,
+            sim_duration,
+            report_json(&report)
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"slot_engine\",\n  \"slots_per_setup\": {},\n  \"synthetic\": [\n{}\n  ],\n  \"system_sim\": [\n{}\n  ]\n}}\n",
+        slots,
+        synthetic_entries.join(",\n"),
+        system_entries.join(",\n")
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_slot_engine.json");
+    std::fs::write(out, &json).expect("write benchmark JSON");
+    println!("\nwrote {out}");
+}

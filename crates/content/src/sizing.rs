@@ -116,6 +116,24 @@ impl TileSizeModel {
         per_tile_anchor * self.multipliers[quality.index()] * self.complexity(cell, tile)
     }
 
+    /// Fills `out[l]` with the rate of this tile at level `l + 1` for every
+    /// level, hashing the (cell, tile) complexity once instead of once per
+    /// level. Each entry is bit-identical to the corresponding
+    /// [`TileSizeModel::tile_rate_mbps`] call — the hot-path form used by
+    /// the slot engine's problem build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than the number of levels.
+    pub fn tile_rate_row(&self, cell: CellId, tile: TileId, out: &mut [f64]) {
+        assert!(out.len() >= self.levels(), "output row too short");
+        let per_tile_anchor = self.anchor_delivery_mbps / TYPICAL_TILES_PER_DELIVERY;
+        let complexity = self.complexity(cell, tile);
+        for (slot, multiplier) in out[..self.levels()].iter_mut().zip(&self.multipliers) {
+            *slot = per_tile_anchor * multiplier * complexity;
+        }
+    }
+
     /// Total rate to deliver the given tiles of a cell at `quality` — the
     /// paper's `f_c^R(q)` for that content.
     pub fn content_rate_mbps(&self, cell: CellId, tiles: &[TileId], quality: QualityLevel) -> f64 {
@@ -249,6 +267,31 @@ mod tests {
                     < 1e-12
             );
         }
+    }
+
+    #[test]
+    fn tile_rate_row_is_bit_identical_to_per_level_calls() {
+        let m = TileSizeModel::paper_default();
+        let mut row = [0.0f64; 8];
+        for x in -5..5 {
+            for t in TileId::all() {
+                m.tile_rate_row(cell(x, -x), t, &mut row);
+                for l in 1..=6u8 {
+                    let q = QualityLevel::new(l);
+                    assert_eq!(row[q.index()], m.tile_rate_mbps(cell(x, -x), t, q));
+                }
+            }
+        }
+        // Excess capacity beyond the level count is left untouched.
+        assert_eq!(row[6], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "output row too short")]
+    fn short_rate_row_panics() {
+        let m = TileSizeModel::paper_default();
+        let mut row = [0.0f64; 3];
+        m.tile_rate_row(cell(0, 0), TileId::new(0), &mut row);
     }
 
     #[test]

@@ -21,25 +21,66 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use crate::objective::SlotProblem;
+use crate::engine::SlotEngine;
+use crate::objective::{SlotProblem, RATE_EPS};
 use crate::quality::QualityLevel;
 
 use super::Allocator;
 
 /// Which marginal a greedy pass ranks users by.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Score {
+pub(crate) enum Score {
     Density,
     Value,
+}
+
+/// A read-only view of a slot problem's tables. Both [`SlotProblem`] and
+/// the buffer-reusing [`SlotEngine`] present this view to the single shared
+/// greedy-pass implementation, so the two entry points perform the exact
+/// same floating-point operations in the same order and return identical
+/// assignments.
+pub(crate) trait PassProblem {
+    /// Number of users `N`.
+    fn num_users(&self) -> usize;
+    /// The shared server budget `B(t)`.
+    fn server_budget(&self) -> f64;
+    /// Per-level rates of one user.
+    fn rates(&self, user: usize) -> &[f64];
+    /// Per-level objective values of one user.
+    fn values(&self, user: usize) -> &[f64];
+    /// One user's link budget `B_n(t)`.
+    fn link_budget(&self, user: usize) -> f64;
+}
+
+impl PassProblem for SlotProblem {
+    fn num_users(&self) -> usize {
+        SlotProblem::num_users(self)
+    }
+
+    fn server_budget(&self) -> f64 {
+        SlotProblem::server_budget(self)
+    }
+
+    fn rates(&self, user: usize) -> &[f64] {
+        &self.users()[user].rates
+    }
+
+    fn values(&self, user: usize) -> &[f64] {
+        &self.users()[user].values
+    }
+
+    fn link_budget(&self, user: usize) -> f64 {
+        self.users()[user].link_budget
+    }
 }
 
 /// Heap entry: marginal score for upgrading `user` from its current level.
 /// Ordered by score descending, then by user index ascending so ties match
 /// the paper's first-index `argmax`.
 #[derive(Debug, Clone, Copy)]
-struct Candidate {
-    score: f64,
-    user: usize,
+pub(crate) struct Candidate {
+    pub(crate) score: f64,
+    pub(crate) user: usize,
 }
 
 impl PartialEq for Candidate {
@@ -64,30 +105,46 @@ impl Ord for Candidate {
     }
 }
 
-fn marginal(problem: &SlotProblem, user: usize, level_idx: usize, score: Score) -> Option<f64> {
-    let u = &problem.users()[user];
-    if level_idx + 1 >= u.levels() {
+fn marginal<P: PassProblem>(
+    problem: &P,
+    user: usize,
+    level_idx: usize,
+    score: Score,
+) -> Option<f64> {
+    let values = problem.values(user);
+    if level_idx + 1 >= values.len() {
         return None;
     }
-    let dv = u.values[level_idx + 1] - u.values[level_idx];
+    let dv = values[level_idx + 1] - values[level_idx];
     match score {
         Score::Value => Some(dv),
         Score::Density => {
-            let dr = u.rates[level_idx + 1] - u.rates[level_idx];
+            let rates = problem.rates(user);
+            let dr = rates[level_idx + 1] - rates[level_idx];
             // Rates are validated strictly increasing, so dr > 0.
             Some(dv / dr)
         }
     }
 }
 
-/// Runs one greedy pass and returns the assignment (0-based level indices).
-fn greedy_pass(problem: &SlotProblem, score: Score) -> Vec<usize> {
+/// Runs one greedy pass into caller-owned buffers (0-based level indices in
+/// `levels`). This is the single implementation behind both the allocating
+/// [`Allocator::allocate`] entry points and the zero-allocation
+/// [`SlotEngine`] fast path; keeping them on one code path is what makes
+/// the two bit-identical.
+pub(crate) fn greedy_pass_into<P: PassProblem>(
+    problem: &P,
+    score: Score,
+    heap: &mut BinaryHeap<Candidate>,
+    levels: &mut Vec<usize>,
+) {
     let n = problem.num_users();
-    let mut levels = vec![0usize; n];
-    let mut total_rate: f64 = problem.users().iter().map(|u| u.rates[0]).sum();
+    levels.clear();
+    levels.resize(n, 0);
+    let mut total_rate: f64 = (0..n).map(|u| problem.rates(u)[0]).sum();
     let server_budget = problem.server_budget();
 
-    let mut heap = BinaryHeap::with_capacity(n);
+    heap.clear();
     for user in 0..n {
         if let Some(s) = marginal(problem, user, 0, score) {
             heap.push(Candidate { score: s, user });
@@ -99,15 +156,17 @@ fn greedy_pass(problem: &SlotProblem, score: Score) -> Vec<usize> {
         if s < 0.0 {
             break;
         }
-        let u = &problem.users()[user];
+        let rates = problem.rates(user);
         let cur = levels[user];
         let next = cur + 1;
-        let next_rate = u.rates[next];
-        let added = next_rate - u.rates[cur];
+        let next_rate = rates[next];
+        let added = next_rate - rates[cur];
 
         // quality_verification: reject upgrades that bust either budget and
         // retire the user; otherwise commit.
-        if next_rate > u.link_budget || total_rate + added > server_budget + 1e-12 {
+        if next_rate > problem.link_budget(user) + RATE_EPS
+            || total_rate + added > server_budget + RATE_EPS
+        {
             continue; // rolled back (never committed) and retired.
         }
         levels[user] = next;
@@ -119,7 +178,13 @@ fn greedy_pass(problem: &SlotProblem, score: Score) -> Vec<usize> {
         // At the top level the user simply retires (no push), matching the
         // `q_n == L` branch of quality_verification.
     }
+}
 
+/// Runs one greedy pass and returns the assignment (0-based level indices).
+fn greedy_pass(problem: &SlotProblem, score: Score) -> Vec<usize> {
+    let mut heap = BinaryHeap::with_capacity(problem.num_users());
+    let mut levels = Vec::new();
+    greedy_pass_into(problem, score, &mut heap, &mut levels);
     levels
 }
 
@@ -212,6 +277,10 @@ impl Allocator for DensityValueGreedy {
         GreedyOutcome::solve(problem).best().to_vec()
     }
 
+    fn allocate_staged<'e>(&mut self, engine: &'e mut SlotEngine) -> &'e [QualityLevel] {
+        engine.solve()
+    }
+
     fn name(&self) -> &'static str {
         "density-value-greedy"
     }
@@ -233,6 +302,10 @@ impl Allocator for DensityGreedy {
         to_assignment(greedy_pass(problem, Score::Density))
     }
 
+    fn allocate_staged<'e>(&mut self, engine: &'e mut SlotEngine) -> &'e [QualityLevel] {
+        engine.solve_density()
+    }
+
     fn name(&self) -> &'static str {
         "density-greedy"
     }
@@ -252,6 +325,10 @@ impl ValueGreedy {
 impl Allocator for ValueGreedy {
     fn allocate(&mut self, problem: &SlotProblem) -> Vec<QualityLevel> {
         to_assignment(greedy_pass(problem, Score::Value))
+    }
+
+    fn allocate_staged<'e>(&mut self, engine: &'e mut SlotEngine) -> &'e [QualityLevel] {
+        engine.solve_value()
     }
 
     fn name(&self) -> &'static str {
@@ -429,6 +506,47 @@ mod tests {
         let a = DensityValueGreedy::new().allocate(&problem);
         assert_eq!(a[0].get(), 2);
         assert_eq!(a[1].get(), 1);
+    }
+
+    /// Regression for the once-divergent feasibility tolerances: the greedy
+    /// passes and `is_feasible` now share [`RATE_EPS`], so an upgrade the
+    /// allocator accepts at a budget boundary is never rejected by the
+    /// feasibility check (and vice versa).
+    #[test]
+    fn budget_boundaries_share_one_tolerance() {
+        // Link budget exactly equal to the level-2 rate plus half an
+        // epsilon of float noise: the upgrade must be taken and the result
+        // must verify as feasible.
+        let noisy_link = 2.0 + 0.5 * RATE_EPS;
+        let problem =
+            SlotProblem::new(vec![user(1.0, 0.0, &[(1.0, 5.0)], noisy_link)], 100.0).unwrap();
+        let a = DensityValueGreedy::new().allocate(&problem);
+        assert_eq!(a[0].get(), 2, "within-eps link overshoot must be accepted");
+        assert!(problem.is_feasible(&a));
+
+        // Beyond the shared tolerance both sides must reject.
+        let tight_link = 2.0 - 10.0 * RATE_EPS;
+        let problem =
+            SlotProblem::new(vec![user(1.0, 0.0, &[(1.0, 5.0)], tight_link)], 100.0).unwrap();
+        let a = DensityValueGreedy::new().allocate(&problem);
+        assert_eq!(a[0].get(), 1, "beyond-eps link overshoot must be rejected");
+        assert!(problem.is_feasible(&a));
+        assert!(!problem.is_feasible(&[QualityLevel::new(2)]));
+
+        // Same at the server budget: total rate may exceed the budget by at
+        // most RATE_EPS, and what greedy accepts is_feasible also accepts.
+        let server = 3.0 + 0.5 * RATE_EPS;
+        let problem = SlotProblem::new(
+            vec![
+                user(1.0, 0.0, &[(1.0, 5.0)], 100.0),
+                user(1.0, 0.0, &[(1.0, 4.0)], 100.0),
+            ],
+            server,
+        )
+        .unwrap();
+        let a = DensityValueGreedy::new().allocate(&problem);
+        assert_eq!(a.iter().filter(|q| q.get() == 2).count(), 1);
+        assert!(problem.is_feasible(&a));
     }
 
     #[test]

@@ -13,6 +13,14 @@ mod lagrangian;
 pub use greedy::{DensityGreedy, DensityValueGreedy, GreedyOutcome, ValueGreedy};
 pub use lagrangian::LagrangianBisection;
 
+/// Crate-internal greedy machinery shared with [`crate::engine`], so the
+/// buffer-reusing engine runs the *same* monomorphised pass as the
+/// allocating path.
+pub(crate) mod greedy_internal {
+    pub(crate) use super::greedy::{greedy_pass_into, Candidate, PassProblem, Score};
+}
+
+use crate::engine::SlotEngine;
 use crate::objective::SlotProblem;
 use crate::quality::QualityLevel;
 
@@ -35,6 +43,27 @@ pub trait Allocator {
     /// Resets any cross-slot state; default is a no-op for stateless
     /// allocators.
     fn reset(&mut self) {}
+
+    /// Solves a slot staged in a [`SlotEngine`], returning the assignment
+    /// borrowed from the engine.
+    ///
+    /// The default materialises the staged tables into a [`SlotProblem`]
+    /// and delegates to [`Allocator::allocate`] — correct for every
+    /// allocator, but allocating. The greedy solvers override it with the
+    /// engine's zero-allocation fast path; overrides must produce the same
+    /// assignment `allocate` would on the equivalent problem.
+    ///
+    /// # Panics
+    ///
+    /// The default panics if the staged tables fail [`SlotProblem::new`]
+    /// validation.
+    fn allocate_staged<'e>(&mut self, engine: &'e mut SlotEngine) -> &'e [QualityLevel] {
+        let problem = engine
+            .to_problem()
+            .expect("staged slot problem must be valid");
+        let assignment = self.allocate(&problem);
+        engine.set_assignment(assignment)
+    }
 }
 
 impl<A: Allocator + ?Sized> Allocator for Box<A> {
@@ -48,5 +77,9 @@ impl<A: Allocator + ?Sized> Allocator for Box<A> {
 
     fn reset(&mut self) {
         (**self).reset();
+    }
+
+    fn allocate_staged<'e>(&mut self, engine: &'e mut SlotEngine) -> &'e [QualityLevel] {
+        (**self).allocate_staged(engine)
     }
 }

@@ -49,6 +49,7 @@
 //! * [`variance`] — Welford variance iteration (Eq. 4 / Appendix A).
 //! * [`objective`] — the per-slot objective `h_n` (Eq. 9) and slot problem.
 //! * [`alloc`] — Algorithm 1 and its pure-greedy ablations.
+//! * [`engine`] — the reusable zero-allocation slot solver with stage timing.
 //! * [`baselines`] — Firefly LRU and modified PAVQ comparators.
 //! * [`offline`] — exact solvers and the fractional bound (Theorem 1).
 //! * [`qoe`] — horizon QoE accounting.
@@ -59,6 +60,7 @@
 pub mod alloc;
 pub mod baselines;
 pub mod delay;
+pub mod engine;
 pub mod error;
 pub mod objective;
 pub mod offline;
@@ -74,8 +76,9 @@ pub mod prelude {
     };
     pub use crate::baselines::{FireflyLru, Pavq};
     pub use crate::delay::{DelayModel, Mm1Delay, TabulatedDelay};
+    pub use crate::engine::{EngineTimers, SlotEngine, StageClock};
     pub use crate::error::{AllocError, ModelError};
-    pub use crate::objective::{QoeParams, SlotProblem, SlotProblemBuilder, UserSlot};
+    pub use crate::objective::{QoeParams, SlotProblem, SlotProblemBuilder, UserSlot, RATE_EPS};
     pub use crate::offline::{exact_slot_optimum, fractional_upper_bound, ExactSolution};
     pub use crate::qoe::{SystemQoeSummary, UserQoeAccumulator, UserQoeSummary};
     pub use crate::quality::{QualityLevel, QualitySet};

@@ -26,6 +26,15 @@ use crate::quality::QualityLevel;
 use crate::rate::RateFunction;
 use crate::variance::VarianceTracker;
 
+/// Shared absolute tolerance for rate-feasibility comparisons, in Mbps.
+///
+/// Every budget check in the crate — the greedy passes' server and link
+/// checks and [`SlotProblem::is_feasible`] — accepts a rate that exceeds a
+/// budget by at most this slack, so a level that one component deems
+/// feasible is never rejected by another over floating-point noise in the
+/// accumulated totals.
+pub const RATE_EPS: f64 = 1e-9;
+
 /// The QoE weights `α` (delay sensitivity) and `β` (variance sensitivity).
 ///
 /// The paper uses `α = 0.02, β = 0.5` in the trace-based simulation and
@@ -292,11 +301,11 @@ impl SlotProblem {
             if q.index() >= u.levels() {
                 return false;
             }
-            if q.get() > 1 && u.rates[q.index()] > u.link_budget {
+            if q.get() > 1 && u.rates[q.index()] > u.link_budget + RATE_EPS {
                 return false;
             }
         }
-        self.total_rate(assignment) <= self.server_budget + 1e-9
+        self.total_rate(assignment) <= self.server_budget + RATE_EPS
     }
 
     /// The all-ones starting assignment of Algorithm 1.

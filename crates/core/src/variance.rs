@@ -55,11 +55,14 @@ impl VarianceTracker {
     }
 
     /// Population variance `σ²(t)`; zero before two observations.
+    ///
+    /// Clamped at zero: Welford's `M2` accumulator can drift a hair negative
+    /// under long near-constant streams, and a variance must never be.
     pub fn variance(&self) -> f64 {
         if self.count == 0 {
             0.0
         } else {
-            self.m2 / self.count as f64
+            (self.m2 / self.count as f64).max(0.0)
         }
     }
 
@@ -215,5 +218,28 @@ mod tests {
     #[test]
     fn direct_variance_of_empty_is_zero() {
         assert_eq!(population_variance(&[]), 0.0);
+    }
+
+    #[test]
+    fn variance_never_negative_on_near_constant_stream() {
+        // A long constant-plus-epsilon stream drives M2 towards zero through
+        // catastrophic cancellation; rounding may leave it a hair negative.
+        // The accessor must clamp, since callers take sqrt() or treat the
+        // value as a penalty weight.
+        let mut v = VarianceTracker::new();
+        for i in 0..200_000u64 {
+            let eps = if i % 2 == 0 { 1e-9 } else { -1e-9 };
+            v.push(4.0 + eps);
+        }
+        assert!(v.variance() >= 0.0);
+        assert!(v.variance() < 1e-12);
+
+        // Same guarantee under a genuinely constant tail after a spike.
+        let mut v = VarianceTracker::new();
+        v.push(1e8);
+        for _ in 0..100_000 {
+            v.push(1e8 + 1e-6);
+        }
+        assert!(v.variance() >= 0.0);
     }
 }

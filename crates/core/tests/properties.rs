@@ -8,6 +8,7 @@
 //!   identity on arbitrary streams.
 
 use cvr_core::alloc::{Allocator, DensityGreedy, DensityValueGreedy, GreedyOutcome, ValueGreedy};
+use cvr_core::engine::SlotEngine;
 use cvr_core::objective::{SlotProblem, UserSlot};
 use cvr_core::offline::{
     dp_slot_optimum, exact_slot_optimum, exhaustive_slot_optimum, fractional_upper_bound,
@@ -50,6 +51,48 @@ fn concave_problem(max_users: usize) -> impl Strategy<Value = SlotProblem> {
     )
         .prop_map(|(users, budget)| {
             // Ensure the baseline fits so instances are non-degenerate.
+            let base: f64 = users.iter().map(|u| u.rates[0]).sum();
+            SlotProblem::new(users, budget.max(base + 0.1)).expect("valid problem")
+        })
+}
+
+/// Like [`concave_problem`], but with at most 5 levels per user and the
+/// level-1 value pinned to zero, so the objective *is* the knapsack gain
+/// Theorem 1 bounds (no baseline subtraction needed).
+fn small_nonneg_problem() -> impl Strategy<Value = SlotProblem> {
+    (
+        prop::collection::vec(
+            (
+                2usize..=5,                            // number of levels
+                0.5f64..3.0,                           // base rate
+                prop::collection::vec(0.2f64..4.0, 4), // rate increments
+                0.1f64..2.0,                           // first marginal value
+                0.3f64..0.95,                          // marginal decay
+                1.0f64..200.0,                         // link budget
+            ),
+            1..=6,
+        ),
+        2.0f64..60.0,
+    )
+        .prop_map(|(raw, budget)| {
+            let users: Vec<UserSlot> = raw
+                .into_iter()
+                .map(|(levels, r0, dr, dv0, decay, link)| {
+                    let mut rates = vec![r0];
+                    let mut values = vec![0.0];
+                    let mut dv = dv0;
+                    for i in 1..levels {
+                        rates.push(rates[i - 1] + dr[i - 1].max(0.2));
+                        values.push(values[i - 1] + dv);
+                        dv *= decay;
+                    }
+                    UserSlot {
+                        rates,
+                        values,
+                        link_budget: link,
+                    }
+                })
+                .collect();
             let base: f64 = users.iter().map(|u| u.rates[0]).sum();
             SlotProblem::new(users, budget.max(base + 0.1)).expect("valid problem")
         })
@@ -179,6 +222,68 @@ proptest! {
                 bb_reduced.value
             );
         }
+    }
+
+    #[test]
+    fn theorem1_best_value_half_of_oracle(problem in small_nonneg_problem()) {
+        // Theorem 1 stated directly on GreedyOutcome::best_value(): with
+        // level-1 values pinned at zero the objective equals the knapsack
+        // gain, so no baseline correction is needed. Cross-checked against
+        // both the branch-and-bound and the DP oracle.
+        let outcome = GreedyOutcome::solve(&problem);
+        let bb = exact_slot_optimum(&problem).unwrap();
+        prop_assert!(
+            outcome.best_value() >= 0.5 * bb.value - 1e-9,
+            "best {} below half of exact optimum {}",
+            outcome.best_value(),
+            bb.value
+        );
+        let dp = dp_slot_optimum(&problem, 0.01).unwrap();
+        prop_assert!(dp.value <= bb.value + 1e-9);
+        prop_assert!(
+            outcome.best_value() >= 0.5 * dp.value - 1e-9,
+            "best {} below half of DP oracle {}",
+            outcome.best_value(),
+            dp.value
+        );
+    }
+
+    #[test]
+    fn engine_matches_allocator_bit_for_bit(
+        first in arbitrary_problem(),
+        second in arbitrary_problem(),
+    ) {
+        // The buffer-reusing engine must return *identical* assignments to
+        // the allocating path — including after being reused for a slot of
+        // a different shape, which is how the simulators drive it.
+        let mut engine = SlotEngine::new();
+        for problem in [&first, &second] {
+            engine.stage_problem(problem);
+            let staged = engine.solve().to_vec();
+            prop_assert_eq!(staged, DensityValueGreedy::new().allocate(problem));
+        }
+    }
+
+    #[test]
+    fn staged_entry_points_match_allocate(problem in arbitrary_problem()) {
+        // allocate_staged (fast path for greedy allocators, materialising
+        // fallback otherwise) must agree with allocate for every solver.
+        let mut engine = SlotEngine::new();
+
+        let mut dv = DensityValueGreedy::new();
+        engine.stage_problem(&problem);
+        let staged = dv.allocate_staged(&mut engine).to_vec();
+        prop_assert_eq!(staged, dv.allocate(&problem));
+
+        let mut d = DensityGreedy::new();
+        engine.stage_problem(&problem);
+        let staged = d.allocate_staged(&mut engine).to_vec();
+        prop_assert_eq!(staged, d.allocate(&problem));
+
+        let mut v = ValueGreedy::new();
+        engine.stage_problem(&problem);
+        let staged = v.allocate_staged(&mut engine).to_vec();
+        prop_assert_eq!(staged, v.allocate(&problem));
     }
 
     #[test]

@@ -141,22 +141,21 @@ where
         .min(count);
     let mut out: Vec<Option<T>> = (0..count).map(|_| None).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<parking_lot::Mutex<&mut Option<T>>> =
-        out.iter_mut().map(parking_lot::Mutex::new).collect();
+    let slots: Vec<std::sync::Mutex<&mut Option<T>>> =
+        out.iter_mut().map(std::sync::Mutex::new).collect();
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if idx >= count {
                     break;
                 }
                 let value = f(idx);
-                **slots[idx].lock() = Some(value);
+                **slots[idx].lock().expect("slot lock poisoned") = Some(value);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     drop(slots);
 
     out.into_iter()

@@ -40,6 +40,6 @@ pub use experiment::{
     system_experiment, trace_experiment, SystemAverages, SystemExperimentResult,
     TraceExperimentResult,
 };
-pub use metrics::{EmpiricalDistribution, MetricDistributions};
+pub use metrics::{EmpiricalDistribution, MetricDistributions, SlotTimingReport, StageStats};
 pub use system::{ObjectiveMode, RenderingMode, SystemConfig, SystemRunResult};
 pub use tracesim::{RunResult, TimeSeries, TraceSimConfig};

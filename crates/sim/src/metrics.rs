@@ -212,6 +212,87 @@ impl MetricDistributions {
     }
 }
 
+/// Latency summary of one hot-path stage across a run's slots, derived
+/// from a [`StageClock`](cvr_core::engine::StageClock)'s raw samples.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct StageStats {
+    /// Number of recorded executions.
+    pub count: usize,
+    /// Total time spent in the stage, in milliseconds.
+    pub total_ms: f64,
+    /// Mean execution time, in microseconds.
+    pub mean_us: f64,
+    /// Median (p50) execution time, in microseconds (nearest-rank).
+    pub p50_us: f64,
+    /// 99th-percentile execution time, in microseconds (nearest-rank).
+    pub p99_us: f64,
+}
+
+impl StageStats {
+    /// Summarises raw per-slot samples (nanoseconds, as recorded by a
+    /// `StageClock`). Zero stats when the stage never ran.
+    pub fn from_ns_samples(samples_ns: &[u64]) -> Self {
+        if samples_ns.is_empty() {
+            return StageStats::default();
+        }
+        let mut sorted: Vec<u64> = samples_ns.to_vec();
+        sorted.sort_unstable();
+        let total_ns: u64 = sorted.iter().sum();
+        let nearest = |q: f64| -> f64 {
+            let idx = ((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
+            sorted[idx] as f64 / 1e3
+        };
+        StageStats {
+            count: sorted.len(),
+            total_ms: total_ns as f64 / 1e6,
+            mean_us: total_ns as f64 / 1e3 / sorted.len() as f64,
+            p50_us: nearest(0.5),
+            p99_us: nearest(0.99),
+        }
+    }
+}
+
+/// Per-stage timing of a run's slot hot path — the instrumented output of
+/// the slot engine, reported by `run_instrumented` and the benchmark
+/// harness.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SlotTimingReport {
+    /// Number of slots executed.
+    pub slots: usize,
+    /// Wall-clock duration of the measured loop, in seconds.
+    pub wall_s: f64,
+    /// Slot throughput, `slots / wall_s` (0 when `wall_s` is 0).
+    pub slots_per_sec: f64,
+    /// Problem-build stage (rate/value tables into the engine).
+    pub build: StageStats,
+    /// Density-greedy pass.
+    pub density: StageStats,
+    /// Value-greedy pass.
+    pub value: StageStats,
+    /// Post-allocation delivery accounting.
+    pub accounting: StageStats,
+}
+
+impl SlotTimingReport {
+    /// Builds a report from the engine's accumulated timers plus the
+    /// measured wall-clock of the surrounding loop.
+    pub fn from_timers(timers: &cvr_core::engine::EngineTimers, slots: usize, wall_s: f64) -> Self {
+        SlotTimingReport {
+            slots,
+            wall_s,
+            slots_per_sec: if wall_s > 0.0 {
+                slots as f64 / wall_s
+            } else {
+                0.0
+            },
+            build: StageStats::from_ns_samples(timers.build.samples_ns()),
+            density: StageStats::from_ns_samples(timers.density.samples_ns()),
+            value: StageStats::from_ns_samples(timers.value.samples_ns()),
+            accounting: StageStats::from_ns_samples(timers.accounting.samples_ns()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,6 +350,39 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn quantile_of_empty_panics() {
         EmpiricalDistribution::new().quantile(0.5);
+    }
+
+    #[test]
+    fn stage_stats_from_samples() {
+        // 100 samples: 1µs..=100µs.
+        let samples: Vec<u64> = (1..=100u64).map(|i| i * 1_000).collect();
+        let s = StageStats::from_ns_samples(&samples);
+        assert_eq!(s.count, 100);
+        assert!((s.total_ms - 5.05).abs() < 1e-9);
+        assert!((s.mean_us - 50.5).abs() < 1e-9);
+        assert_eq!(s.p50_us, 51.0); // nearest rank of index 49.5 → 50
+        assert_eq!(s.p99_us, 99.0);
+        assert_eq!(StageStats::from_ns_samples(&[]), StageStats::default());
+    }
+
+    #[test]
+    fn timing_report_from_timers() {
+        use cvr_core::engine::EngineTimers;
+        use std::time::Duration;
+        let mut timers = EngineTimers::default();
+        for _ in 0..4 {
+            timers.build.record(Duration::from_micros(10));
+            timers.density.record(Duration::from_micros(5));
+            timers.value.record(Duration::from_micros(5));
+            timers.accounting.record(Duration::from_micros(20));
+        }
+        let report = SlotTimingReport::from_timers(&timers, 4, 0.5);
+        assert_eq!(report.slots, 4);
+        assert_eq!(report.slots_per_sec, 8.0);
+        assert_eq!(report.build.count, 4);
+        assert!((report.accounting.mean_us - 20.0).abs() < 1e-9);
+        let empty = SlotTimingReport::from_timers(&EngineTimers::default(), 0, 0.0);
+        assert_eq!(empty.slots_per_sec, 0.0);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! routers.
 
 use std::collections::VecDeque;
+use std::time::Instant;
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -21,7 +22,8 @@ use cvr_content::id::VideoId;
 use cvr_content::library::ContentLibrary;
 use cvr_core::alloc::Allocator;
 use cvr_core::delay::{DelayModel, Mm1Delay};
-use cvr_core::objective::{QoeParams, SlotProblem, UserSlot};
+use cvr_core::engine::SlotEngine;
+use cvr_core::objective::QoeParams;
 use cvr_core::qoe::{SystemQoeSummary, UserQoeAccumulator, UserQoeSummary};
 use cvr_core::quality::QualityLevel;
 use cvr_motion::accuracy::DeltaEstimator;
@@ -312,6 +314,18 @@ pub fn run_with(
     label: &'static str,
     mode: ObjectiveMode,
 ) -> SystemRunResult {
+    run_instrumented(config, allocator, label, mode).0
+}
+
+/// Like [`run_with`], but also returns the per-stage timing of the slot
+/// hot path (problem build, density pass, value pass, delivery
+/// accounting) collected by the run's [`SlotEngine`].
+pub fn run_instrumented(
+    config: &SystemConfig,
+    allocator: &mut dyn Allocator,
+    label: &'static str,
+    mode: ObjectiveMode,
+) -> (SystemRunResult, crate::metrics::SlotTimingReport) {
     assert!(config.num_users > 0, "need at least one user");
     assert!(config.num_routers > 0, "need at least one router");
     let n = config.num_users;
@@ -409,6 +423,24 @@ pub fn run_with(
     let mut transfers = 0u64;
     let mut transfers_lost = 0u64;
 
+    // --- slot engine and reused per-slot buffers -------------------------
+    // The engine owns the rate/value tables, greedy heap, and assignment
+    // buffer for the whole run; these satellites cover everything else the
+    // old loop re-allocated every slot.
+    let levels = library.quality_set().len();
+    let mut engine = SlotEngine::new();
+    let mut actual: Vec<Pose> = Vec::with_capacity(n);
+    let mut predicted: Vec<Pose> = Vec::with_capacity(n);
+    let mut requests = Vec::with_capacity(n);
+    let mut estimated_bn: Vec<f64> = Vec::with_capacity(n);
+    let mut assignment: Vec<QualityLevel> = Vec::with_capacity(n);
+    let mut tile_row = vec![0.0f64; levels];
+    let mut router_caps: Vec<f64> = Vec::with_capacity(config.num_routers);
+    let mut demands: Vec<Vec<(usize, f64)>> = vec![Vec::new(); config.num_routers];
+    let mut effective_bn = vec![0.0f64; n];
+    let mut to_send: Vec<VideoId> = Vec::new();
+
+    let wall_start = Instant::now();
     for slot in 0..slots {
         let now = slot as f64 * dt;
 
@@ -435,7 +467,8 @@ pub fn run_with(
         }
 
         // 2. Motion: actual poses this slot; score frames due for display.
-        let actual: Vec<Pose> = motion.iter_mut().map(|g| g.step()).collect();
+        actual.clear();
+        actual.extend(motion.iter_mut().map(|g| g.step()));
         for u in 0..n {
             while pending[u].front().is_some_and(|f| f.display_slot <= slot) {
                 let frame = pending[u].pop_front().expect("checked front");
@@ -465,96 +498,99 @@ pub fn run_with(
         //    from *estimates* (the paper's pipeline: receive pose at t,
         //    deliver at t+1, display at t+2).
         let period = config.pose_upload_period_slots.max(1);
-        let predicted: Vec<Pose> = (0..n)
-            .map(|u| {
-                if (slot + u) % period == 0 {
-                    predictors[u].observe(&actual[u]);
-                    pose_staleness[u] = 0;
-                } else {
-                    pose_staleness[u] += 1;
-                }
-                // The predictor's sample spacing is the upload period, so
-                // convert the slot horizon into observation intervals.
-                let horizon_slots = (PIPELINE_SLOTS + pose_staleness[u]) as f64;
-                predictors[u]
-                    .predict_fractional(horizon_slots / period as f64)
-                    .unwrap_or(actual[u])
-            })
-            .collect();
-        let requests: Vec<_> = (0..n).map(|u| library.request_for(&predicted[u])).collect();
+        predicted.clear();
+        predicted.extend((0..n).map(|u| {
+            if (slot + u) % period == 0 {
+                predictors[u].observe(&actual[u]);
+                pose_staleness[u] = 0;
+            } else {
+                pose_staleness[u] += 1;
+            }
+            // The predictor's sample spacing is the upload period, so
+            // convert the slot horizon into observation intervals.
+            let horizon_slots = (PIPELINE_SLOTS + pose_staleness[u]) as f64;
+            predictors[u]
+                .predict_fractional(horizon_slots / period as f64)
+                .unwrap_or(actual[u])
+        }));
+        requests.clear();
+        requests.extend((0..n).map(|u| library.request_for(&predicted[u])));
 
-        let estimated_bn: Vec<f64> = (0..n)
-            .map(|u| bandwidth_estimates[u].estimate_or(throttles[u]).max(1.0))
-            .collect();
+        estimated_bn.clear();
+        estimated_bn
+            .extend((0..n).map(|u| bandwidth_estimates[u].estimate_or(throttles[u]).max(1.0)));
 
-        let users: Vec<UserSlot> = (0..n)
-            .map(|u| {
-                let delta = deltas[u].estimate();
-                let tracker = *accumulators[u].tracker();
-                let fallback = Mm1Delay::new(estimated_bn[u]).expect("positive estimate");
-                let delay_model = EstimatedDelay {
-                    poly: &delay_estimators[u],
-                    fallback,
-                    floor_slots: PROPAGATION_S / dt,
-                };
-                let levels = library.quality_set().len();
-                let mut rates = Vec::with_capacity(levels);
-                let mut values = Vec::with_capacity(levels);
+        // Build the slot problem directly into the engine's reused tables.
+        let build_start = Instant::now();
+        engine.begin_slot(config.server_total_mbps);
+        for u in 0..n {
+            let delta = deltas[u].estimate();
+            let tracker = *accumulators[u].tracker();
+            let fallback = Mm1Delay::new(estimated_bn[u]).expect("positive estimate");
+            let delay_model = EstimatedDelay {
+                poly: &delay_estimators[u],
+                fallback,
+                floor_slots: PROPAGATION_S / dt,
+            };
+            let tables = engine.add_user(levels, estimated_bn[u]);
+            // Retransmission suppression: only undelivered tiles cost
+            // bandwidth at each level. Tiles accumulate in request order,
+            // with each (cell, tile) complexity hashed once for all levels.
+            for &tile in &requests[u].tiles {
+                library
+                    .sizing()
+                    .tile_rate_row(requests[u].cell, tile, &mut tile_row);
                 for l in 1..=levels {
                     let q = QualityLevel::new(l as u8);
-                    // Retransmission suppression: only undelivered tiles
-                    // cost bandwidth at this level.
-                    let wanted = requests[u].video_ids(q);
-                    let (to_send, _held) = ledgers[u].partition_wanted(&wanted);
-                    let raw: f64 = to_send
-                        .iter()
-                        .map(|id| library.sizing().tile_rate_mbps(id.cell(), id.tile(), q))
-                        .sum::<f64>()
-                        + CONTROL_OVERHEAD_MBPS;
-                    rates.push(raw);
-                    // The objective prices the level at its *incremental*
-                    // transmission cost `raw` (the suppressed rate), not the
-                    // full-library rate — what this slot will actually send.
-                    let delta_eff = match mode {
-                        ObjectiveMode::LossAware => {
-                            let packets = packets_for_rate(raw, dt, config.packet_size_kbit);
-                            let survive =
-                                1.0 - transfer_loss_probability(loss_estimate.estimate(), packets);
-                            delta * survive
-                        }
-                        _ => delta,
-                    };
-                    let quality_term = delta_eff * q.value();
-                    let delay_term = match mode {
-                        ObjectiveMode::DelayBlind => 0.0,
-                        _ => config.params.alpha * delay_model.delay(raw),
-                    };
-                    let variance_term =
-                        config.params.beta * tracker.expected_penalty(q.value(), delta_eff);
-                    values.push(quality_term - delay_term - variance_term);
+                    if !ledgers[u].is_delivered(&VideoId::new(requests[u].cell, tile, q)) {
+                        tables.rates[q.index()] += tile_row[q.index()];
+                    }
                 }
-                sanitize_rates(&mut rates);
-                UserSlot {
-                    rates,
-                    values,
-                    link_budget: estimated_bn[u],
-                }
-            })
-            .collect();
-        let problem = SlotProblem::new(users, config.server_total_mbps)
-            .expect("constructed problem is valid");
+            }
+            for l in 1..=levels {
+                let q = QualityLevel::new(l as u8);
+                tables.rates[q.index()] += CONTROL_OVERHEAD_MBPS;
+                // The objective prices the level at its *incremental*
+                // transmission cost `raw` (the suppressed rate), not the
+                // full-library rate — what this slot will actually send.
+                let raw = tables.rates[q.index()];
+                let delta_eff = match mode {
+                    ObjectiveMode::LossAware => {
+                        let packets = packets_for_rate(raw, dt, config.packet_size_kbit);
+                        let survive =
+                            1.0 - transfer_loss_probability(loss_estimate.estimate(), packets);
+                        delta * survive
+                    }
+                    _ => delta,
+                };
+                let quality_term = delta_eff * q.value();
+                let delay_term = match mode {
+                    ObjectiveMode::DelayBlind => 0.0,
+                    _ => config.params.alpha * delay_model.delay(raw),
+                };
+                let variance_term =
+                    config.params.beta * tracker.expected_penalty(q.value(), delta_eff);
+                tables.values[q.index()] = quality_term - delay_term - variance_term;
+            }
+            sanitize_rates(tables.rates);
+        }
+        engine.timers_mut().build.record(build_start.elapsed());
 
-        let assignment = allocator.allocate(&problem);
+        assignment.clear();
+        assignment.extend_from_slice(allocator.allocate_staged(&mut engine));
 
         // 4. Physical transmission over the shared medium.
-        let router_caps: Vec<f64> = routers.iter_mut().map(|r| r.step_capacity_mbps()).collect();
+        let accounting_start = Instant::now();
+        router_caps.clear();
+        router_caps.extend(routers.iter_mut().map(|r| r.step_capacity_mbps()));
         // Demands per router group.
-        let mut demands: Vec<Vec<(usize, f64)>> = vec![Vec::new(); config.num_routers];
+        for group in &mut demands {
+            group.clear();
+        }
         for u in 0..n {
-            let rate = problem.users()[u].rates[assignment[u].index()];
+            let rate = engine.rates(u)[assignment[u].index()];
             demands[router_of(u)].push((u, rate));
         }
-        let mut effective_bn = vec![0.0f64; n];
         for (r, group) in demands.iter().enumerate() {
             // Proportional airtime sharing with headroom: when the group's
             // total demand is below the router capacity each user can burst
@@ -574,9 +610,15 @@ pub fn run_with(
 
         for u in 0..n {
             let q = assignment[u];
-            let rate = problem.users()[u].rates[q.index()];
-            let wanted = requests[u].video_ids(q);
-            let (to_send, _) = ledgers[u].partition_wanted(&wanted);
+            let rate = engine.rates(u)[q.index()];
+            to_send.clear();
+            to_send.extend(
+                requests[u]
+                    .tiles
+                    .iter()
+                    .map(|&t| VideoId::new(requests[u].cell, t, q))
+                    .filter(|id| !ledgers[u].is_delivered(id)),
+            );
             for id in &to_send {
                 server_cache.fetch(*id);
             }
@@ -669,11 +711,16 @@ pub fn run_with(
             bandwidth_estimates[u].update(effective_bn[u] * noise);
             delay_estimators[u].observe(rate, delay_slots);
         }
+        engine
+            .timers_mut()
+            .accounting
+            .record(accounting_start.elapsed());
     }
+    let wall_s = wall_start.elapsed().as_secs_f64();
 
     let users: Vec<UserQoeSummary> = accumulators.iter().map(|a| a.summary()).collect();
     let (cache_hits, cache_misses) = server_cache.stats();
-    SystemRunResult {
+    let result = SystemRunResult {
         label,
         summary: SystemQoeSummary::from_users(&users),
         fps: 60.0 * frames_displayed as f64 / frames_total.max(1) as f64,
@@ -681,7 +728,9 @@ pub fn run_with(
         cache_hit_rate: cache_hits as f64 / (cache_hits + cache_misses).max(1) as f64,
         users,
         timeseries,
-    }
+    };
+    let report = crate::metrics::SlotTimingReport::from_timers(engine.timers(), slots, wall_s);
+    (result, report)
 }
 
 /// Running estimate of the per-packet loss probability from transfer
@@ -899,6 +948,38 @@ mod tests {
                 ts.viewed_quality[u].iter().map(|&v| v as f64).sum::<f64>() / user.slots as f64;
             assert!((mean_viewed - user.avg_viewed_quality).abs() < 1e-4);
         }
+    }
+
+    #[test]
+    fn instrumented_run_matches_plain_and_times_every_stage() {
+        let cfg = tiny(3);
+        let mut allocator = AllocatorKind::DensityValueGreedy.build();
+        let (result, report) =
+            run_instrumented(&cfg, &mut allocator, "ours", ObjectiveMode::DelayAware);
+        assert_eq!(result, run(&cfg, AllocatorKind::DensityValueGreedy));
+        let slots = cfg.slots();
+        assert_eq!(report.slots, slots);
+        assert!(report.wall_s > 0.0);
+        assert!(report.slots_per_sec > 0.0);
+        for (name, stage) in [
+            ("build", &report.build),
+            ("density", &report.density),
+            ("value", &report.value),
+            ("accounting", &report.accounting),
+        ] {
+            assert_eq!(stage.count, slots, "{name} not timed every slot");
+            assert!(stage.p99_us >= stage.p50_us, "{name} quantiles inverted");
+        }
+    }
+
+    #[test]
+    fn fallback_allocators_still_run_through_the_engine() {
+        // Firefly has no staged fast path: it exercises the materialising
+        // default of allocate_staged every slot.
+        let cfg = tiny(11);
+        let r = run(&cfg, AllocatorKind::Firefly);
+        assert!(r.fps > 0.0);
+        assert_eq!(r.users.len(), cfg.num_users);
     }
 
     #[test]

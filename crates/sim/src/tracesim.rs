@@ -17,12 +17,16 @@
 //! the server link becomes the bottleneck: every user's effective
 //! throughput is scaled by `B / Σ rates`, which feeds back into the delay.
 
+use std::time::Instant;
+
 use cvr_content::library::ContentLibrary;
 use cvr_core::alloc::Allocator;
 use cvr_core::delay::{DelayModel, Mm1Delay};
-use cvr_core::objective::{h_value, QoeParams, SlotProblem, UserSlot};
+use cvr_core::engine::SlotEngine;
+use cvr_core::objective::{h_value, QoeParams};
 use cvr_core::offline::fractional_upper_bound;
 use cvr_core::qoe::{SystemQoeSummary, UserQoeAccumulator, UserQoeSummary};
+use cvr_core::quality::QualityLevel;
 use cvr_core::rate::RateFunction;
 use cvr_motion::accuracy::DeltaEstimator;
 use cvr_motion::predict::LinearPredictor;
@@ -135,6 +139,17 @@ pub fn run_with(
     label: &'static str,
     delay_aware: bool,
 ) -> RunResult {
+    run_instrumented(config, allocator, label, delay_aware).0
+}
+
+/// Like [`run_with`], but also returns the per-stage timing of the slot
+/// hot path collected by the run's [`SlotEngine`].
+pub fn run_instrumented(
+    config: &TraceSimConfig,
+    allocator: &mut dyn Allocator,
+    label: &'static str,
+    delay_aware: bool,
+) -> (RunResult, crate::metrics::SlotTimingReport) {
     assert!(config.num_users > 0, "need at least one user");
     let n = config.num_users;
     let slots = config.slots();
@@ -222,77 +237,85 @@ pub fn run_with(
         .record_timeseries
         .then(|| TimeSeries::with_capacity(n, slots));
 
+    // Slot engine and reused per-slot buffers: tables, heap, and all the
+    // per-slot vectors live for the whole run.
+    let mut engine = SlotEngine::new();
+    let mut actual: Vec<cvr_motion::pose::Pose> = Vec::with_capacity(n);
+    let mut predicted: Vec<cvr_motion::pose::Pose> = Vec::with_capacity(n);
+    let mut link_budgets: Vec<f64> = Vec::with_capacity(n);
+    let mut assignment: Vec<QualityLevel> = Vec::with_capacity(n);
+
+    let wall_start = Instant::now();
     for slot in 0..slots {
         let now = slot as f64 * config.slot_duration_s;
 
         // Reveal this slot's actual poses, but predict from history first.
-        let actual: Vec<_> = motion.iter_mut().map(|g| g.step()).collect();
-        let predicted: Vec<_> = predictors
-            .iter()
-            .enumerate()
-            .map(|(u, p)| p.predict(1).unwrap_or(actual[u]))
-            .collect();
+        actual.clear();
+        actual.extend(motion.iter_mut().map(|g| g.step()));
+        predicted.clear();
+        predicted.extend(
+            predictors
+                .iter()
+                .enumerate()
+                .map(|(u, p)| p.predict(1).unwrap_or(actual[u])),
+        );
 
-        // Resolve content and build the slot problem.
-        let link_budgets: Vec<f64> = (0..n).map(|u| traces[u].at(now)).collect();
-        let users: Vec<UserSlot> = (0..n)
-            .map(|u| {
-                let request = library.request_for(&predicted[u]);
-                let delay_model =
-                    Mm1Delay::new(link_budgets[u]).expect("trace throughput is positive");
-                let delta = deltas[u].estimate();
-                let tracker = *accumulators[u].tracker();
-                let levels = usize::from(request.rate_table.max_level().get());
-                let mut rates = Vec::with_capacity(levels);
-                let mut values = Vec::with_capacity(levels);
-                for l in 1..=levels {
-                    let q = cvr_core::quality::QualityLevel::new(l as u8);
-                    rates.push(request.rate_table.rate(q));
-                    let v = if delay_aware {
-                        h_value(
-                            config.params,
-                            delta,
-                            &tracker,
-                            &request.rate_table,
-                            &delay_model,
-                            q,
-                        )
-                    } else {
-                        h_value(
-                            config.params,
-                            delta,
-                            &tracker,
-                            &request.rate_table,
-                            &cvr_core::delay::ZeroDelay::new(),
-                            q,
-                        )
-                    };
-                    values.push(v);
-                }
-                UserSlot {
-                    rates,
-                    values,
-                    link_budget: link_budgets[u],
-                }
-            })
-            .collect();
-        let problem = SlotProblem::new(users, server_budget).expect("constructed problem is valid");
+        // Resolve content and build the slot problem into the engine.
+        let build_start = Instant::now();
+        link_budgets.clear();
+        link_budgets.extend((0..n).map(|u| traces[u].at(now)));
+        engine.begin_slot(server_budget);
+        for u in 0..n {
+            let request = library.request_for(&predicted[u]);
+            let delay_model = Mm1Delay::new(link_budgets[u]).expect("trace throughput is positive");
+            let delta = deltas[u].estimate();
+            let tracker = *accumulators[u].tracker();
+            let levels = usize::from(request.rate_table.max_level().get());
+            let tables = engine.add_user(levels, link_budgets[u]);
+            for l in 1..=levels {
+                let q = QualityLevel::new(l as u8);
+                tables.rates[q.index()] = request.rate_table.rate(q);
+                tables.values[q.index()] = if delay_aware {
+                    h_value(
+                        config.params,
+                        delta,
+                        &tracker,
+                        &request.rate_table,
+                        &delay_model,
+                        q,
+                    )
+                } else {
+                    h_value(
+                        config.params,
+                        delta,
+                        &tracker,
+                        &request.rate_table,
+                        &cvr_core::delay::ZeroDelay::new(),
+                        q,
+                    )
+                };
+            }
+        }
+        engine.timers_mut().build.record(build_start.elapsed());
 
         if config.compute_bound {
+            let problem = engine.to_problem().expect("constructed problem is valid");
             bound_sum += fractional_upper_bound(&problem);
         }
 
-        let assignment = allocator.allocate(&problem);
+        assignment.clear();
+        assignment.extend_from_slice(allocator.allocate_staged(&mut engine));
 
         // Consequences: server-bottleneck sharing, Eq. (13) delay, FoV hit.
-        let total_rate = problem.total_rate(&assignment);
+        let accounting_start = Instant::now();
+        let total_rate: f64 = (0..n).map(|u| engine.rates(u)[assignment[u].index()]).sum();
         let over = if total_rate > server_budget {
             server_budget / total_rate
         } else {
             1.0
         };
         for u in 0..n {
-            let rate = problem.users()[u].rates[assignment[u].index()];
+            let rate = engine.rates(u)[assignment[u].index()];
             let effective_link = link_budgets[u] * over;
             let delay = Mm1Delay::new(effective_link)
                 .expect("positive link")
@@ -311,10 +334,15 @@ pub fn run_with(
                 ts.delay_slots[u].push(delay as f32);
             }
         }
+        engine
+            .timers_mut()
+            .accounting
+            .record(accounting_start.elapsed());
     }
+    let wall_s = wall_start.elapsed().as_secs_f64();
 
     let users: Vec<UserQoeSummary> = accumulators.iter().map(|a| a.summary()).collect();
-    RunResult {
+    let result = RunResult {
         label,
         summary: SystemQoeSummary::from_users(&users),
         users,
@@ -324,7 +352,9 @@ pub fn run_with(
             0.0
         },
         timeseries,
-    }
+    };
+    let report = crate::metrics::SlotTimingReport::from_timers(engine.timers(), slots, wall_s);
+    (result, report)
 }
 
 #[cfg(test)]
@@ -434,6 +464,20 @@ mod tests {
         ts.to_csv(&mut buf).unwrap();
         let lines = buf.split(|&b| b == b'\n').filter(|l| !l.is_empty()).count();
         assert_eq!(lines, 1 + cfg.num_users * cfg.slots());
+    }
+
+    #[test]
+    fn instrumented_run_matches_plain_and_reports_throughput() {
+        let cfg = small_config(11);
+        let mut allocator = AllocatorKind::DensityValueGreedy.build();
+        let (result, report) = run_instrumented(&cfg, &mut allocator, "ours", true);
+        assert_eq!(result, run(&cfg, AllocatorKind::DensityValueGreedy));
+        assert_eq!(report.slots, cfg.slots());
+        assert_eq!(report.build.count, cfg.slots());
+        assert_eq!(report.density.count, cfg.slots());
+        assert_eq!(report.value.count, cfg.slots());
+        assert_eq!(report.accounting.count, cfg.slots());
+        assert!(report.slots_per_sec > 0.0);
     }
 
     #[test]

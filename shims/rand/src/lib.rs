@@ -1,0 +1,241 @@
+//! Offline stand-in for the `rand` crate, providing the API subset this
+//! workspace uses (`RngCore`, `Rng::gen_range`/`gen_bool`, `SeedableRng`).
+//!
+//! The crates.io registry is not reachable in the build environment, so the
+//! workspace vendors a minimal, deterministic implementation. Numeric
+//! streams are *not* bit-compatible with upstream `rand`; all in-repo seeds
+//! and golden numbers are defined against this implementation.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random-number source: a stream of `u32`/`u64` words.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A uniform double in `[0, 1)` with 53 random mantissa bits.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `[low, high)` (`inclusive = false`) or
+    /// `[low, high]` (`inclusive = true`).
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                if inclusive {
+                    assert!(low <= high, "cannot sample empty range");
+                } else {
+                    assert!(low < high, "cannot sample empty range");
+                }
+                // Width as u64; wrapping_sub handles signed ranges.
+                let span = (high as i128 - low as i128) as u128 + if inclusive { 1 } else { 0 };
+                if span == 0 {
+                    // Inclusive range covering the whole domain.
+                    return rng.next_u64() as $t;
+                }
+                let offset = (rng.next_u64() as u128 % span) as i128;
+                (low as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                if inclusive {
+                    assert!(low <= high, "cannot sample empty range");
+                } else {
+                    assert!(low < high, "cannot sample empty range");
+                }
+                let u = unit_f64(rng) as $t;
+                let sample = low + (high - low) * u;
+                // Guard against rounding past the open upper bound.
+                if !inclusive && sample >= high {
+                    low.max(high - (high - low) * <$t>::EPSILON)
+                } else {
+                    sample
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Ranges accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one sample from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_uniform(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_uniform(rng, *self.start(), *self.end(), true)
+    }
+}
+
+/// High-level sampling helpers, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability outside [0, 1]");
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Deterministically seedable generators.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (a byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed with SplitMix64 and builds the
+    /// generator.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut x = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 step.
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 for test purposes.
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Counter(1);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3.0f64..7.0);
+            assert!((3.0..7.0).contains(&x));
+            let n = rng.gen_range(2usize..=6);
+            assert!((2..=6).contains(&n));
+            let i = rng.gen_range(-5i32..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Counter(2);
+        for _ in 0..1000 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_calibrated() {
+        let mut rng = Counter(3);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((28_000..32_000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = Counter(4);
+        let _ = rng.gen_range(5.0f64..5.0);
+    }
+}

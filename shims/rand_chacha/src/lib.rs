@@ -1,0 +1,132 @@
+//! Offline stand-in for `rand_chacha`: a real ChaCha8 block cipher driving
+//! the workspace's [`rand`] shim traits. Deterministic and of high
+//! statistical quality, but not bit-compatible with upstream `rand_chacha`.
+
+use rand::{RngCore, SeedableRng};
+
+/// ChaCha quarter round.
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// The ChaCha8 random number generator (8-round ChaCha keystream).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaCha8Rng {
+    /// Key words (from the 32-byte seed).
+    key: [u32; 8],
+    /// 64-bit block counter plus 64-bit nonce (fixed at zero).
+    counter: u64,
+    /// Buffered keystream block.
+    buffer: [u32; 16],
+    /// Next unread word in `buffer`; 16 means exhausted.
+    index: usize,
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646E, 0x7962_2D32, 0x6B20_6574];
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&SIGMA);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = 0;
+        state[15] = 0;
+
+        let initial = state;
+        for _ in 0..4 {
+            // One double round: 4 column + 4 diagonal quarter rounds.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (word, init) in state.iter_mut().zip(initial) {
+            *word = word.wrapping_add(init);
+        }
+        self.buffer = state;
+        self.index = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let word = self.buffer[self.index];
+        self.index += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let low = self.next_u32() as u64;
+        let high = self.next_u32() as u64;
+        low | (high << 32)
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (word, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            buffer: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn uniformity_smoke() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+        let ones = (0..n).filter(|_| rng.gen_range(0u32..2) == 1).count();
+        assert!((48_000..52_000).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn fill_bytes_covers_remainder() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,271 @@
+//! Offline `#[derive(Serialize, Deserialize)]` macros for the workspace's
+//! serde shim. Parses plain (non-generic) structs and enums directly from
+//! the token stream — the real `syn`/`quote` stack is not available in the
+//! offline build environment — and emits field-by-field `Serialize` impls
+//! with stable field names, plus marker `Deserialize` impls.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of a parsed type definition.
+enum Shape {
+    /// `struct S { a: A, b: B }` with the field names in order.
+    NamedStruct(Vec<String>),
+    /// `struct S(A, …);` with the field count.
+    TupleStruct(usize),
+    /// `struct S;`
+    UnitStruct,
+    /// `enum E { … }` with `(variant, has_data, is_braced)` per variant.
+    Enum(Vec<(String, bool, bool)>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+/// Consumes leading attributes (`#[…]` / `#![…]`) from `iter`.
+fn skip_attributes(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 1;
+                if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '!') {
+                    i += 1;
+                }
+                // The bracketed attribute body.
+                i += 1;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Consumes a `pub` / `pub(crate)`-style visibility from `tokens`.
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis) {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Parses the field names of a named-field struct body.
+fn parse_named_fields(body: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attributes(body, i);
+        if i >= body.len() {
+            break;
+        }
+        i = skip_visibility(body, i);
+        let TokenTree::Ident(name) = &body[i] else {
+            panic!("expected field name, found {:?}", body[i]);
+        };
+        fields.push(name.to_string());
+        i += 1;
+        // Skip `:` then the type, up to the next comma at angle depth 0.
+        let mut angle_depth = 0i32;
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple-struct body (top-level comma count).
+fn count_tuple_fields(body: &[TokenTree]) -> usize {
+    if body.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut trailing_comma = false;
+    for token in body {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+/// Parses the variants of an enum body.
+fn parse_variants(body: &[TokenTree]) -> Vec<(String, bool, bool)> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attributes(body, i);
+        if i >= body.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &body[i] else {
+            panic!("expected variant name, found {:?}", body[i]);
+        };
+        let variant = name.to_string();
+        i += 1;
+        let mut has_data = false;
+        let mut is_braced = false;
+        if i < body.len() {
+            if let TokenTree::Group(g) = &body[i] {
+                has_data = true;
+                is_braced = g.delimiter() == Delimiter::Brace;
+                i += 1;
+            }
+        }
+        // Skip a discriminant (`= expr`) and the separating comma.
+        while i < body.len() {
+            if matches!(&body[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push((variant, has_data, is_braced));
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Parsed {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attributes(&tokens, 0);
+    i = skip_visibility(&tokens, i);
+
+    let TokenTree::Ident(kind) = &tokens[i] else {
+        panic!("expected `struct` or `enum`, found {:?}", tokens[i]);
+    };
+    let kind = kind.to_string();
+    i += 1;
+    let TokenTree::Ident(name) = &tokens[i] else {
+        panic!("expected type name, found {:?}", tokens[i]);
+    };
+    let name = name.to_string();
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic types (type `{name}`)");
+    }
+
+    let shape = match &tokens[i] {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            if kind == "enum" {
+                Shape::Enum(parse_variants(&body))
+            } else {
+                Shape::NamedStruct(parse_named_fields(&body))
+            }
+        }
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            Shape::TupleStruct(count_tuple_fields(&body))
+        }
+        TokenTree::Punct(p) if p.as_char() == ';' => Shape::UnitStruct,
+        other => panic!("unsupported type body for `{name}`: {other:?}"),
+    };
+    Parsed { name, shape }
+}
+
+/// Derives `serde::Serialize` for plain structs and enums.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let Parsed { name, shape } = parse_item(input);
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let mut code = format!(
+                "let mut state = ::serde::ser::Serializer::serialize_struct(\
+                 serializer, \"{name}\", {})?;\n",
+                fields.len()
+            );
+            for field in &fields {
+                code.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(\
+                     &mut state, \"{field}\", &self.{field})?;\n"
+                ));
+            }
+            code.push_str("::serde::ser::SerializeStruct::end(state)");
+            code
+        }
+        Shape::TupleStruct(1) => {
+            format!("::serde::ser::Serializer::serialize_newtype_struct(serializer, \"{name}\", &self.0)")
+        }
+        Shape::TupleStruct(n) => {
+            let mut code = format!(
+                "let mut state = ::serde::ser::Serializer::serialize_tuple_struct(\
+                 serializer, \"{name}\", {n})?;\n"
+            );
+            for idx in 0..n {
+                code.push_str(&format!(
+                    "::serde::ser::SerializeTupleStruct::serialize_field(&mut state, &self.{idx})?;\n"
+                ));
+            }
+            code.push_str("::serde::ser::SerializeTupleStruct::end(state)");
+            code
+        }
+        Shape::UnitStruct => {
+            format!("::serde::ser::Serializer::serialize_unit_struct(serializer, \"{name}\")")
+        }
+        Shape::Enum(variants) => {
+            let mut code = String::from("match self {\n");
+            for (idx, (variant, has_data, is_braced)) in variants.iter().enumerate() {
+                if *has_data {
+                    let pattern = if *is_braced { "{ .. }" } else { "(..)" };
+                    code.push_str(&format!(
+                        "{name}::{variant} {pattern} => ::core::result::Result::Err(\
+                         <S::Error as ::serde::ser::Error>::custom(\
+                         \"serde shim cannot serialize enum variant `{variant}` with data\")),\n"
+                    ));
+                } else {
+                    code.push_str(&format!(
+                        "{name}::{variant} => ::serde::ser::Serializer::serialize_unit_variant(\
+                         serializer, \"{name}\", {idx}u32, \"{variant}\"),\n"
+                    ));
+                }
+            }
+            code.push('}');
+            code
+        }
+    };
+
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize<S: ::serde::ser::Serializer>(&self, serializer: S)\n\
+         -> ::core::result::Result<S::Ok, S::Error> {{\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives the marker `serde::Deserialize` for plain structs and enums.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let Parsed { name, .. } = parse_item(input);
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{}}\n"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
