@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Local mirror of .github/workflows/ci.yml — run before pushing.
+#
+#   ./ci.sh          # full pipeline: test + determinism + bench gate
+#   ./ci.sh quick    # skip the slow ignored tests
+set -euo pipefail
+cd "$(dirname "$0")"
+
+MODE="${1:-full}"
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+step "Format"
+cargo fmt --check
+
+step "Clippy"
+cargo clippy --workspace --all-targets -- -D warnings
+
+step "Build"
+cargo build --workspace --all-targets
+
+if [ "$MODE" = "quick" ]; then
+    step "Tests"
+    cargo test --workspace --release
+else
+    step "Tests (including slow ignored tests)"
+    cargo test --workspace --release -- --include-ignored
+fi
+
+step "Docs"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+step "Smoke figures"
+cargo run -p cvr-bench --release --bin fig1
+cargo run -p cvr-bench --release --bin fig2 -- --runs 2 --duration 5
+cargo run -p cvr-bench --release --bin fig7 -- --runs 1 --duration 5
+
+step "Determinism: 1 thread vs 4 threads must produce identical outputs"
+DET_DIR="$(mktemp -d)"
+trap 'rm -rf "$DET_DIR"' EXIT
+cargo run -p cvr-bench --release --bin fig2 -- --runs 6 --duration 5 --csv "$DET_DIR/t1" --threads 1
+cargo run -p cvr-bench --release --bin fig2 -- --runs 6 --duration 5 --csv "$DET_DIR/t4" --threads 4
+cargo run -p cvr-bench --release --bin fig7 -- --runs 4 --duration 5 --csv "$DET_DIR/t1" --threads 1
+cargo run -p cvr-bench --release --bin fig7 -- --runs 4 --duration 5 --csv "$DET_DIR/t4" --threads 4
+diff -r "$DET_DIR/t1" "$DET_DIR/t4"
+echo "determinism: outputs byte-for-byte identical"
+
+step "Bench gate"
+cargo run -p cvr-bench --release --bin slot_engine -- --quick
+cargo run -p cvr-bench --release --bin scale -- --quick
+cargo run -p cvr-bench --release --bin bench_check
+
+step "CI pipeline passed"

@@ -5,14 +5,14 @@
 //! measures all three (plus the exact optimum) on random slot instances
 //! and on the end-to-end trace simulation.
 //!
-//! Run: `cargo run -p cvr-bench --release --bin ablation_greedy [--quick]`
+//! Run: `cargo run -p cvr-bench --release --bin ablation_greedy [--quick] [--threads N]`
 
 use cvr_bench::{f3, print_header, print_row, FigureArgs};
 use cvr_core::alloc::{Allocator, DensityGreedy, DensityValueGreedy, ValueGreedy};
 use cvr_core::objective::{SlotProblem, UserSlot};
 use cvr_core::offline::exact_slot_optimum;
 use cvr_sim::allocators::AllocatorKind;
-use cvr_sim::experiment::trace_experiment;
+use cvr_sim::experiment::trace_experiment_threaded;
 use cvr_sim::tracesim::TraceSimConfig;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -107,7 +107,7 @@ fn main() {
         AllocatorKind::DensityValueGreedy,
         AllocatorKind::Optimal,
     ];
-    let result = trace_experiment(&base, &kinds, args.runs_or(20).min(20));
+    let result = trace_experiment_threaded(&base, &kinds, args.runs_or(20).min(20), args.threads);
     print_header(&["variant", "mean QoE"]);
     for k in &kinds {
         print_row(&[

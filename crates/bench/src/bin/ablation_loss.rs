@@ -8,11 +8,11 @@
 //! to lose one). Both variants run in the full-system simulator across a
 //! sweep of per-packet loss rates.
 //!
-//! Run: `cargo run -p cvr-bench --release --bin ablation_loss [--quick]`
+//! Run: `cargo run -p cvr-bench --release --bin ablation_loss [--quick] [--threads N]`
 
 use cvr_bench::{f3, improvement_pct, print_header, print_row, FigureArgs};
 use cvr_sim::allocators::AllocatorKind;
-use cvr_sim::experiment::system_experiment;
+use cvr_sim::experiment::system_experiment_threaded;
 use cvr_sim::system::SystemConfig;
 
 fn main() {
@@ -39,7 +39,7 @@ fn main() {
             packet_loss_probability: loss,
             ..SystemConfig::setup1(args.seed)
         };
-        let result = system_experiment(&base, &kinds, repetitions);
+        let result = system_experiment_threaded(&base, &kinds, repetitions, args.threads);
         let plain = result.per_algorithm["ours"];
         let aware = result.per_algorithm["ours+loss"];
         print_row(&[

@@ -1,0 +1,180 @@
+//! CI bench gate: reads the `BENCH_*.json` artifacts written by
+//! `slot_engine` and `scale` and fails (exit code 1) when a performance or
+//! determinism regression slipped in:
+//!
+//! * `BENCH_slot_engine.json` — every synthetic workload must keep the
+//!   slot-engine speedup ≥ 1.5× over the pre-engine path, with identical
+//!   assignments;
+//! * `BENCH_parallel.json` — parallel execution must be bit-identical to
+//!   the 1-thread baseline, and on multi-core hosts the largest in-budget
+//!   thread count must reach speedup ≥ 1.5× with parallel efficiency
+//!   ≥ 0.6. On a single-core host (recorded `available_parallelism` = 1)
+//!   the speedup gates are skipped — there is nothing to parallelise
+//!   onto — but determinism is still enforced.
+//!
+//! Run after the benches: `cargo run -p cvr-bench --release --bin bench_check`
+
+use cvr_bench::json::Json;
+
+const MIN_ENGINE_SPEEDUP: f64 = 1.5;
+const MIN_PARALLEL_SPEEDUP: f64 = 1.5;
+const MIN_PARALLEL_EFFICIENCY: f64 = 0.6;
+
+struct Gate {
+    failures: Vec<String>,
+}
+
+impl Gate {
+    fn check(&mut self, ok: bool, message: String) {
+        if ok {
+            println!("ok   {message}");
+        } else {
+            println!("FAIL {message}");
+            self.failures.push(message);
+        }
+    }
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("read {path}: {e} (run the benches first)"));
+    Json::parse(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"))
+}
+
+fn check_slot_engine(gate: &mut Gate, doc: &Json) {
+    let synthetic = doc
+        .get("synthetic")
+        .and_then(Json::as_array)
+        .expect("slot_engine JSON has a `synthetic` array");
+    gate.check(
+        !synthetic.is_empty(),
+        "slot_engine: at least one synthetic workload".to_string(),
+    );
+    for entry in synthetic {
+        let name = entry.get("name").and_then(Json::as_str).unwrap_or("?");
+        let speedup = entry
+            .get("speedup")
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN);
+        let identical = entry
+            .get("assignments_identical")
+            .and_then(Json::as_bool)
+            .unwrap_or(false);
+        gate.check(
+            speedup >= MIN_ENGINE_SPEEDUP,
+            format!("slot_engine {name}: speedup {speedup:.2}x >= {MIN_ENGINE_SPEEDUP}x"),
+        );
+        gate.check(
+            identical,
+            format!("slot_engine {name}: engine assignments identical to reference path"),
+        );
+    }
+}
+
+fn check_parallel(gate: &mut Gate, doc: &Json) {
+    let available = doc
+        .get("available_parallelism")
+        .and_then(Json::as_f64)
+        .expect("parallel JSON has `available_parallelism`") as usize;
+    let deterministic = doc
+        .get("deterministic")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    gate.check(
+        deterministic,
+        "parallel: all thread counts bit-identical to the 1-thread baseline".to_string(),
+    );
+    let entries = doc
+        .get("entries")
+        .and_then(Json::as_array)
+        .expect("parallel JSON has an `entries` array");
+    gate.check(
+        !entries.is_empty(),
+        "parallel: at least one sweep point".to_string(),
+    );
+    for entry in entries {
+        let setup = entry.get("setup").and_then(Json::as_str).unwrap_or("?");
+        let threads = entry.get("threads").and_then(Json::as_f64).unwrap_or(0.0) as usize;
+        gate.check(
+            entry
+                .get("identical")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+            format!("parallel {setup} @ {threads} threads: results identical"),
+        );
+    }
+
+    if available < 2 {
+        println!(
+            "skip parallel speedup/efficiency gates: benchmark host reported \
+             available_parallelism = {available} (nothing to parallelise onto)"
+        );
+        return;
+    }
+
+    // Judge the largest thread count that fits the host — oversubscribed
+    // points (threads > cores) legitimately lose efficiency.
+    for setup in ["setup1", "setup2"] {
+        let best = entries
+            .iter()
+            .filter(|e| {
+                e.get("setup").and_then(Json::as_str) == Some(setup)
+                    && e.get("threads").and_then(Json::as_f64).unwrap_or(0.0) as usize <= available
+            })
+            .max_by_key(|e| e.get("threads").and_then(Json::as_f64).unwrap_or(0.0) as usize);
+        let Some(entry) = best else {
+            gate.check(false, format!("parallel {setup}: no in-budget sweep point"));
+            continue;
+        };
+        let threads = entry.get("threads").and_then(Json::as_f64).unwrap_or(0.0) as usize;
+        if threads < 2 {
+            gate.check(
+                false,
+                format!("parallel {setup}: no multi-threaded sweep point within {available} cores"),
+            );
+            continue;
+        }
+        let speedup = entry
+            .get("speedup")
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN);
+        let efficiency = entry
+            .get("efficiency")
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN);
+        gate.check(
+            speedup >= MIN_PARALLEL_SPEEDUP,
+            format!(
+                "parallel {setup} @ {threads} threads: speedup {speedup:.2}x >= {MIN_PARALLEL_SPEEDUP}x"
+            ),
+        );
+        gate.check(
+            efficiency >= MIN_PARALLEL_EFFICIENCY,
+            format!(
+                "parallel {setup} @ {threads} threads: efficiency {efficiency:.2} >= {MIN_PARALLEL_EFFICIENCY}"
+            ),
+        );
+    }
+}
+
+fn main() {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let mut gate = Gate {
+        failures: Vec::new(),
+    };
+
+    println!("# Bench gate\n");
+    check_slot_engine(&mut gate, &load(&format!("{root}/BENCH_slot_engine.json")));
+    check_parallel(&mut gate, &load(&format!("{root}/BENCH_parallel.json")));
+
+    println!();
+    if gate.failures.is_empty() {
+        println!("bench gate: all checks passed");
+    } else {
+        println!("bench gate: {} check(s) FAILED:", gate.failures.len());
+        for f in &gate.failures {
+            println!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+}

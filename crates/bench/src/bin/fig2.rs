@@ -6,11 +6,11 @@
 //! baselines on QoE; PAVQ close on QoE but different per-component; Firefly
 //! worst variance/delay.
 //!
-//! Run: `cargo run -p cvr-bench --release --bin fig2 [--quick]`
+//! Run: `cargo run -p cvr-bench --release --bin fig2 [--quick] [--threads N]`
 
 use cvr_bench::{f3, print_header, print_row, FigureArgs};
 use cvr_sim::allocators::AllocatorKind;
-use cvr_sim::experiment::trace_experiment;
+use cvr_sim::experiment::trace_experiment_threaded;
 use cvr_sim::tracesim::TraceSimConfig;
 
 fn main() {
@@ -27,7 +27,7 @@ fn main() {
     );
 
     let kinds = AllocatorKind::paper_set(true);
-    let result = trace_experiment(&base, &kinds, runs);
+    let result = trace_experiment_threaded(&base, &kinds, runs, args.threads);
 
     for (metric, pick) in [
         ("(a) average QoE", 0usize),
@@ -39,12 +39,12 @@ fn main() {
         print_header(&["algorithm", "mean", "p10", "p50", "p90"]);
         for kind in &kinds {
             let label = kind.label();
-            let mut dists = result.per_algorithm[label].clone();
+            let dists = &result.per_algorithm[label];
             let d = match pick {
-                0 => &mut dists.qoe,
-                1 => &mut dists.quality,
-                2 => &mut dists.delay,
-                _ => &mut dists.variance,
+                0 => dists.qoe.sorted(),
+                1 => dists.quality.sorted(),
+                2 => dists.delay.sorted(),
+                _ => dists.variance.sorted(),
             };
             print_row(&[
                 label.to_string(),
@@ -60,14 +60,15 @@ fn main() {
     if let Some(dir) = &args.csv_dir {
         for kind in &kinds {
             let label = kind.label();
-            let mut dists = result.per_algorithm[label].clone();
+            let dists = &result.per_algorithm[label];
             for (metric, d) in [
-                ("qoe", &mut dists.qoe),
-                ("quality", &mut dists.quality),
-                ("delay", &mut dists.delay),
-                ("variance", &mut dists.variance),
+                ("qoe", &dists.qoe),
+                ("quality", &dists.quality),
+                ("delay", &dists.delay),
+                ("variance", &dists.variance),
             ] {
                 let rows: Vec<String> = d
+                    .sorted()
                     .cdf_points()
                     .into_iter()
                     .map(|(v, p)| format!("{v},{p}"))
@@ -85,8 +86,7 @@ fn main() {
     let qoe = |label: &str| result.per_algorithm[label].qoe.mean();
     println!("## CDF points (average QoE) — plot-ready\n");
     for kind in &kinds {
-        let mut d = result.per_algorithm[kind.label()].qoe.clone();
-        let pts = d.cdf_points();
+        let pts = result.per_algorithm[kind.label()].qoe.sorted().cdf_points();
         let thin: Vec<String> = pts
             .iter()
             .step_by((pts.len() / 10).max(1))

@@ -3,11 +3,11 @@
 //! offline optimum is intractable (the paper omits it; we additionally
 //! report the fractional upper bound as a certificate).
 //!
-//! Run: `cargo run -p cvr-bench --release --bin fig3 [--quick]`
+//! Run: `cargo run -p cvr-bench --release --bin fig3 [--quick] [--threads N]`
 
 use cvr_bench::{f3, print_header, print_row, FigureArgs};
 use cvr_sim::allocators::AllocatorKind;
-use cvr_sim::experiment::trace_experiment;
+use cvr_sim::experiment::trace_experiment_threaded;
 use cvr_sim::tracesim::TraceSimConfig;
 
 fn main() {
@@ -22,7 +22,7 @@ fn main() {
     println!("# Fig. 3 — 30 users, {runs} runs × {duration:.0} s\n");
 
     let kinds = AllocatorKind::paper_set(false);
-    let result = trace_experiment(&base, &kinds, runs);
+    let result = trace_experiment_threaded(&base, &kinds, runs, args.threads);
 
     for (metric, pick) in [
         ("(a) average QoE", 0usize),
@@ -33,12 +33,12 @@ fn main() {
         println!("## {metric}\n");
         print_header(&["algorithm", "mean", "p10", "p50", "p90"]);
         for kind in &kinds {
-            let mut dists = result.per_algorithm[kind.label()].clone();
+            let dists = &result.per_algorithm[kind.label()];
             let d = match pick {
-                0 => &mut dists.qoe,
-                1 => &mut dists.quality,
-                2 => &mut dists.delay,
-                _ => &mut dists.variance,
+                0 => dists.qoe.sorted(),
+                1 => dists.quality.sorted(),
+                2 => dists.delay.sorted(),
+                _ => dists.variance.sorted(),
             };
             print_row(&[
                 kind.label().to_string(),
@@ -54,14 +54,15 @@ fn main() {
     if let Some(dir) = &args.csv_dir {
         for kind in &kinds {
             let label = kind.label();
-            let mut dists = result.per_algorithm[label].clone();
+            let dists = &result.per_algorithm[label];
             for (metric, d) in [
-                ("qoe", &mut dists.qoe),
-                ("quality", &mut dists.quality),
-                ("delay", &mut dists.delay),
-                ("variance", &mut dists.variance),
+                ("qoe", &dists.qoe),
+                ("quality", &dists.quality),
+                ("delay", &dists.delay),
+                ("variance", &dists.variance),
             ] {
                 let rows: Vec<String> = d
+                    .sorted()
                     .cdf_points()
                     .into_iter()
                     .map(|(v, p)| format!("{v},{p}"))

@@ -5,11 +5,11 @@
 //! Paper headline: ours +214.3 % QoE over modified PAVQ; Firefly's QoE
 //! goes negative under the volatile capacity.
 //!
-//! Run: `cargo run -p cvr-bench --release --bin fig8 [--quick]`
+//! Run: `cargo run -p cvr-bench --release --bin fig8 [--quick] [--threads N]`
 
 use cvr_bench::{f3, improvement_pct, print_header, print_row, FigureArgs};
 use cvr_sim::allocators::AllocatorKind;
-use cvr_sim::experiment::system_experiment;
+use cvr_sim::experiment::system_experiment_threaded;
 use cvr_sim::system::SystemConfig;
 
 fn main() {
@@ -25,7 +25,7 @@ fn main() {
     );
 
     let kinds = AllocatorKind::paper_set(false);
-    let result = system_experiment(&base, &kinds, repetitions);
+    let result = system_experiment_threaded(&base, &kinds, repetitions, args.threads);
 
     print_header(&[
         "algorithm",

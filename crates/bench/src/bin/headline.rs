@@ -6,11 +6,11 @@
 //! * setup 2: ours vs modified PAVQ (+214.3 %), Firefly negative;
 //! * ours ≈ 60 FPS.
 //!
-//! Run: `cargo run -p cvr-bench --release --bin headline [--quick]`
+//! Run: `cargo run -p cvr-bench --release --bin headline [--quick] [--threads N]`
 
 use cvr_bench::{f3, improvement_pct, print_header, print_row, FigureArgs};
 use cvr_sim::allocators::AllocatorKind;
-use cvr_sim::experiment::system_experiment;
+use cvr_sim::experiment::system_experiment_threaded;
 use cvr_sim::system::SystemConfig;
 
 fn main() {
@@ -19,21 +19,23 @@ fn main() {
     let duration = args.duration_or(60.0);
     let kinds = AllocatorKind::paper_set(false);
 
-    let setup1 = system_experiment(
+    let setup1 = system_experiment_threaded(
         &SystemConfig {
             duration_s: duration,
             ..SystemConfig::setup1(args.seed)
         },
         &kinds,
         repetitions,
+        args.threads,
     );
-    let setup2 = system_experiment(
+    let setup2 = system_experiment_threaded(
         &SystemConfig {
             duration_s: duration,
             ..SystemConfig::setup2(args.seed)
         },
         &kinds,
         repetitions,
+        args.threads,
     );
 
     println!("# Headline comparison ({repetitions} reps × {duration:.0} s)\n");

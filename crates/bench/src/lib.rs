@@ -11,6 +11,8 @@
 use std::fmt::Display;
 use std::path::{Path, PathBuf};
 
+pub mod json;
+
 /// Simple command-line options shared by the figure binaries.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FigureArgs {
@@ -24,6 +26,10 @@ pub struct FigureArgs {
     pub seed: u64,
     /// Directory to write plot-ready CSV files into (`--csv DIR`).
     pub csv_dir: Option<PathBuf>,
+    /// Worker threads for the parallel experiment runner (`--threads N`;
+    /// `None`/0 = available parallelism). Results are bit-identical for
+    /// every value.
+    pub threads: Option<usize>,
 }
 
 impl Default for FigureArgs {
@@ -34,13 +40,15 @@ impl Default for FigureArgs {
             duration_s: None,
             seed: 2022,
             csv_dir: None,
+            threads: None,
         }
     }
 }
 
 impl FigureArgs {
     /// Parses `std::env::args()`, accepting `--quick`, `--scale X`,
-    /// `--runs N`, `--duration S` and `--seed N`.
+    /// `--runs N`, `--duration S`, `--seed N`, `--csv DIR` and
+    /// `--threads N`.
     ///
     /// # Panics
     ///
@@ -81,8 +89,15 @@ impl FigureArgs {
                     out.csv_dir =
                         Some(PathBuf::from(args.next().expect("--csv requires a directory")));
                 }
+                "--threads" => {
+                    out.threads = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .expect("--threads requires an integer"),
+                    );
+                }
                 other => panic!(
-                    "unknown argument `{other}`; supported: --quick --scale X --runs N --duration S --seed N --csv DIR"
+                    "unknown argument `{other}`; supported: --quick --scale X --runs N --duration S --seed N --csv DIR --threads N"
                 ),
             }
         }

@@ -1,16 +1,25 @@
-//! Experiment harnesses: the multi-run sweeps behind each figure, with
-//! thread-parallel execution across runs.
+//! Experiment harnesses: the multi-run sweeps behind each figure, executed
+//! on the sharded parallel runner of [`crate::parallel`].
+//!
+//! Every harness takes an optional thread count (`None` = available
+//! parallelism) and is **bit-identical at any thread count**: per-run
+//! seeds come from [`parallel::derive_seed`] (never from which worker ran
+//! the run), trace experiments merge per-worker metric distributions with
+//! the concatenative [`MetricDistributions::merge`] in run order, and
+//! system experiments reduce the ordered per-run results sequentially so
+//! floating-point summation order never depends on scheduling.
 
 use std::collections::BTreeMap;
 
 use crate::allocators::AllocatorKind;
 use crate::metrics::MetricDistributions;
+use crate::parallel::{self, RunSpec};
 use crate::system::{self, SystemConfig, SystemRunResult};
 use crate::tracesim::{self, RunResult, TraceSimConfig};
 
 /// Figs. 2/3: per-algorithm CDFs of the four metrics across `runs`
 /// independent trace-simulation runs.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct TraceExperimentResult {
     /// Per-algorithm metric distributions, keyed by display label.
     pub per_algorithm: BTreeMap<&'static str, MetricDistributions>,
@@ -18,49 +27,85 @@ pub struct TraceExperimentResult {
     pub mean_fractional_bound: f64,
 }
 
+/// Per-worker accumulator for the trace experiment: metric distributions
+/// per algorithm plus the per-run fractional bounds (kept as a sequence so
+/// the final sum happens in run order, independent of chunking).
+#[derive(Default)]
+struct TraceAccumulator {
+    per_algorithm: BTreeMap<&'static str, MetricDistributions>,
+    bounds: Vec<f64>,
+}
+
+impl TraceAccumulator {
+    fn record(&mut self, base: &TraceSimConfig, kinds: &[AllocatorKind], spec: &RunSpec) {
+        let config = TraceSimConfig {
+            seed: spec.seed,
+            ..base.clone()
+        };
+        for &kind in kinds {
+            let r: RunResult = tracesim::run(&config, kind);
+            self.per_algorithm
+                .entry(r.label)
+                .or_default()
+                .push_summary(&r.summary);
+            if r.mean_fractional_bound != 0.0 {
+                self.bounds.push(r.mean_fractional_bound);
+            }
+        }
+    }
+
+    fn merge(&mut self, other: TraceAccumulator) {
+        for (label, dists) in other.per_algorithm {
+            self.per_algorithm.entry(label).or_default().merge(&dists);
+        }
+        self.bounds.extend_from_slice(&other.bounds);
+    }
+}
+
 /// Runs the Fig. 2 / Fig. 3 experiment: `runs` independent runs of the
-/// trace simulation for every algorithm in `kinds`, parallelised across
-/// runs with one OS thread per chunk.
+/// trace simulation for every algorithm in `kinds`, sharded over the
+/// available hardware threads.
 pub fn trace_experiment(
     base: &TraceSimConfig,
     kinds: &[AllocatorKind],
     runs: usize,
 ) -> TraceExperimentResult {
-    let results = parallel_map(runs, |run_idx| {
-        let config = TraceSimConfig {
-            seed: base.seed.wrapping_add(run_idx as u64 * 7919),
-            ..base.clone()
-        };
-        kinds
-            .iter()
-            .map(|&k| tracesim::run(&config, k))
-            .collect::<Vec<RunResult>>()
-    });
+    trace_experiment_threaded(base, kinds, runs, None)
+}
 
-    let mut out = TraceExperimentResult::default();
-    let mut bound_sum = 0.0;
-    let mut bound_count = 0usize;
-    for run_results in &results {
-        for r in run_results {
-            out.per_algorithm
-                .entry(r.label)
-                .or_default()
-                .push_summary(&r.summary);
-            if r.mean_fractional_bound != 0.0 {
-                bound_sum += r.mean_fractional_bound;
-                bound_count += 1;
-            }
-        }
+/// [`trace_experiment`] with an explicit worker count (`None`/`Some(0)` =
+/// available parallelism). Results are bit-identical for every `threads`
+/// value.
+pub fn trace_experiment_threaded(
+    base: &TraceSimConfig,
+    kinds: &[AllocatorKind],
+    runs: usize,
+    threads: Option<usize>,
+) -> TraceExperimentResult {
+    let specs = parallel::run_specs(base.seed, runs);
+    let workers = parallel::resolve_threads(threads);
+    let acc = parallel::map_reduce(
+        &specs,
+        workers,
+        TraceAccumulator::default,
+        |acc, spec| acc.record(base, kinds, spec),
+        TraceAccumulator::merge,
+    );
+
+    let mean_fractional_bound = if acc.bounds.is_empty() {
+        0.0
+    } else {
+        acc.bounds.iter().sum::<f64>() / acc.bounds.len() as f64
+    };
+    TraceExperimentResult {
+        per_algorithm: acc.per_algorithm,
+        mean_fractional_bound,
     }
-    if bound_count > 0 {
-        out.mean_fractional_bound = bound_sum / bound_count as f64;
-    }
-    out
 }
 
 /// Figs. 7/8: per-algorithm averages over `repetitions` full-system runs
 /// (the paper repeats each experiment five times).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct SystemExperimentResult {
     /// Averaged run results per algorithm label.
     pub per_algorithm: BTreeMap<&'static str, SystemAverages>,
@@ -95,21 +140,33 @@ impl SystemAverages {
 }
 
 /// Runs a full-system experiment: every algorithm, `repetitions` seeds,
-/// parallel across repetitions.
+/// sharded over the available hardware threads.
 pub fn system_experiment(
     base: &SystemConfig,
     kinds: &[AllocatorKind],
     repetitions: usize,
 ) -> SystemExperimentResult {
-    let results = parallel_map(repetitions, |rep| {
+    system_experiment_threaded(base, kinds, repetitions, None)
+}
+
+/// [`system_experiment`] with an explicit worker count (`None`/`Some(0)` =
+/// available parallelism). The per-run results are computed in parallel
+/// and reduced sequentially in repetition order, so averages are
+/// bit-identical for every `threads` value.
+pub fn system_experiment_threaded(
+    base: &SystemConfig,
+    kinds: &[AllocatorKind],
+    repetitions: usize,
+    threads: Option<usize>,
+) -> SystemExperimentResult {
+    let specs = parallel::run_specs(base.seed, repetitions);
+    let workers = parallel::resolve_threads(threads);
+    let results: Vec<Vec<SystemRunResult>> = parallel::parallel_map(&specs, workers, |spec| {
         let config = SystemConfig {
-            seed: base.seed.wrapping_add(rep as u64 * 6151),
+            seed: spec.seed,
             ..base.clone()
         };
-        kinds
-            .iter()
-            .map(|&k| system::run(&config, k))
-            .collect::<Vec<SystemRunResult>>()
+        kinds.iter().map(|&k| system::run(&config, k)).collect()
     });
 
     let inv_n = 1.0 / repetitions.max(1) as f64;
@@ -125,58 +182,10 @@ pub fn system_experiment(
     out
 }
 
-/// Maps `f` over `0..count` using up to `available_parallelism` worker
-/// threads, preserving index order in the output.
-fn parallel_map<T, F>(count: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    if count == 0 {
-        return Vec::new();
-    }
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(count);
-    let mut out: Vec<Option<T>> = (0..count).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<&mut Option<T>>> =
-        out.iter_mut().map(std::sync::Mutex::new).collect();
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if idx >= count {
-                    break;
-                }
-                let value = f(idx);
-                **slots[idx].lock().expect("slot lock poisoned") = Some(value);
-            });
-        }
-    });
-    drop(slots);
-
-    out.into_iter()
-        .map(|v| v.expect("all indices computed"))
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use cvr_core::objective::QoeParams;
-
-    #[test]
-    fn parallel_map_preserves_order() {
-        let v = parallel_map(100, |i| i * i);
-        assert_eq!(v.len(), 100);
-        for (i, &x) in v.iter().enumerate() {
-            assert_eq!(x, i * i);
-        }
-        assert!(parallel_map(0, |i| i).is_empty());
-    }
 
     #[test]
     fn trace_experiment_collects_all_algorithms() {
@@ -189,6 +198,36 @@ mod tests {
         assert_eq!(result.per_algorithm.len(), 4);
         for (label, dists) in &result.per_algorithm {
             assert_eq!(dists.qoe.len(), 4, "{label} missing runs");
+        }
+    }
+
+    #[test]
+    fn trace_experiment_is_bit_identical_across_thread_counts() {
+        let base = TraceSimConfig {
+            duration_s: 3.0,
+            compute_bound: true,
+            ..TraceSimConfig::paper_default(2, 61)
+        };
+        let kinds = [AllocatorKind::DensityValueGreedy, AllocatorKind::Firefly];
+        let serial = trace_experiment_threaded(&base, &kinds, 6, Some(1));
+        for threads in [2, 3, 4, 6, 16] {
+            let parallel = trace_experiment_threaded(&base, &kinds, 6, Some(threads));
+            assert_eq!(parallel, serial, "{threads} threads diverged");
+        }
+    }
+
+    #[test]
+    fn system_experiment_is_bit_identical_across_thread_counts() {
+        let base = SystemConfig {
+            num_users: 2,
+            duration_s: 2.0,
+            ..SystemConfig::setup1(77)
+        };
+        let kinds = [AllocatorKind::DensityValueGreedy];
+        let serial = system_experiment_threaded(&base, &kinds, 5, Some(1));
+        for threads in [2, 4, 5, 8] {
+            let parallel = system_experiment_threaded(&base, &kinds, 5, Some(threads));
+            assert_eq!(parallel, serial, "{threads} threads diverged");
         }
     }
 

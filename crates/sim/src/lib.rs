@@ -8,6 +8,8 @@
 //!   packet loss, tile caching/ACKs, router interference), behind Figs. 7
 //!   and 8;
 //! * [`experiment`] — multi-run harnesses with thread-parallel execution;
+//! * [`parallel`] — the sharded parallel runner (deterministic per-run
+//!   seeding, lock-free per-worker accumulation, in-order merge);
 //! * [`allocators`] — the algorithm registry shared by all experiments;
 //! * [`event`] / [`metrics`] — the discrete-event queue and the CDF
 //!   machinery.
@@ -31,15 +33,19 @@ pub mod allocators;
 pub mod event;
 pub mod experiment;
 pub mod metrics;
+pub mod parallel;
 pub mod system;
 pub mod tracesim;
 
 pub use allocators::AllocatorKind;
 pub use event::EventQueue;
 pub use experiment::{
-    system_experiment, trace_experiment, SystemAverages, SystemExperimentResult,
-    TraceExperimentResult,
+    system_experiment, system_experiment_threaded, trace_experiment, trace_experiment_threaded,
+    SystemAverages, SystemExperimentResult, TraceExperimentResult,
 };
-pub use metrics::{EmpiricalDistribution, MetricDistributions, SlotTimingReport, StageStats};
+pub use metrics::{
+    EmpiricalDistribution, MetricDistributions, SlotTimingReport, SortedDistribution, StageStats,
+};
+pub use parallel::RunSpec;
 pub use system::{ObjectiveMode, RenderingMode, SystemConfig, SystemRunResult};
 pub use tracesim::{RunResult, TimeSeries, TraceSimConfig};

@@ -1,25 +1,30 @@
-//! Experiment metrics: empirical distributions (for the CDF figures) and
-//! run-level summaries.
+//! Experiment metrics: empirical distributions (for the CDF figures),
+//! read-only sorted snapshots, run-level summaries, and the merge
+//! operations the parallel runner uses to combine per-worker results.
 
 use serde::{Deserialize, Serialize};
 
 /// An empirical distribution of a scalar metric across runs, backing the
 /// paper's CDF plots (Figs. 2 and 3).
 ///
+/// The accumulator itself is append-only; order statistics (quantiles,
+/// CDF values) live on the read-only [`SortedDistribution`] snapshot so
+/// report code never needs `&mut` access to merged results.
+///
 /// # Examples
 ///
 /// ```
 /// use cvr_sim::metrics::EmpiricalDistribution;
 ///
-/// let mut d: EmpiricalDistribution = [3.0, 1.0, 2.0].into_iter().collect();
+/// let d: EmpiricalDistribution = [3.0, 1.0, 2.0].into_iter().collect();
 /// assert_eq!(d.mean(), 2.0);
-/// assert_eq!(d.quantile(0.5), 2.0);
-/// assert!((d.cdf(1.5) - 1.0 / 3.0).abs() < 1e-12);
+/// let s = d.sorted();
+/// assert_eq!(s.quantile(0.5), 2.0);
+/// assert!((s.cdf(1.5) - 1.0 / 3.0).abs() < 1e-12);
 /// ```
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct EmpiricalDistribution {
     values: Vec<f64>,
-    sorted: bool,
 }
 
 impl EmpiricalDistribution {
@@ -36,7 +41,15 @@ impl EmpiricalDistribution {
     pub fn push(&mut self, value: f64) {
         assert!(!value.is_nan(), "NaN observation");
         self.values.push(value);
-        self.sorted = false;
+    }
+
+    /// Appends every observation of `other`, preserving `other`'s order —
+    /// the concatenative merge the parallel runner relies on for
+    /// bit-identical results at any thread count (merging chunk
+    /// accumulators in chunk order reproduces the sequential insertion
+    /// order exactly).
+    pub fn merge(&mut self, other: &EmpiricalDistribution) {
+        self.values.extend_from_slice(&other.values);
     }
 
     /// Number of observations.
@@ -49,11 +62,9 @@ impl EmpiricalDistribution {
         self.values.is_empty()
     }
 
-    fn ensure_sorted(&mut self) {
-        if !self.sorted {
-            self.values.sort_by(f64::total_cmp);
-            self.sorted = true;
-        }
+    /// The raw observations in insertion order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
     }
 
     /// Mean of the observations (0 when empty).
@@ -63,41 +74,6 @@ impl EmpiricalDistribution {
         } else {
             self.values.iter().sum::<f64>() / self.values.len() as f64
         }
-    }
-
-    /// The `q`-quantile (`q ∈ [0, 1]`), by nearest-rank.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the distribution is empty or `q` outside `[0, 1]`.
-    pub fn quantile(&mut self, q: f64) -> f64 {
-        assert!(!self.values.is_empty(), "quantile of empty distribution");
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
-        self.ensure_sorted();
-        let idx =
-            ((q * (self.values.len() - 1) as f64).round() as usize).min(self.values.len() - 1);
-        self.values[idx]
-    }
-
-    /// Empirical CDF value `P(X ≤ x)`.
-    pub fn cdf(&mut self, x: f64) -> f64 {
-        if self.values.is_empty() {
-            return 0.0;
-        }
-        self.ensure_sorted();
-        let count = self.values.partition_point(|&v| v <= x);
-        count as f64 / self.values.len() as f64
-    }
-
-    /// `(value, cdf)` points suitable for plotting the CDF curve.
-    pub fn cdf_points(&mut self) -> Vec<(f64, f64)> {
-        self.ensure_sorted();
-        let n = self.values.len();
-        self.values
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| (v, (i + 1) as f64 / n as f64))
-            .collect()
     }
 
     /// Minimum observation (0 when empty).
@@ -120,6 +96,13 @@ impl EmpiricalDistribution {
                 .fold(f64::NEG_INFINITY, f64::max)
         }
     }
+
+    /// A read-only sorted snapshot for quantile/CDF queries.
+    pub fn sorted(&self) -> SortedDistribution {
+        let mut values = self.values.clone();
+        values.sort_by(f64::total_cmp);
+        SortedDistribution { values }
+    }
 }
 
 impl FromIterator<f64> for EmpiricalDistribution {
@@ -137,6 +120,77 @@ impl Extend<f64> for EmpiricalDistribution {
         for v in iter {
             self.push(v);
         }
+    }
+}
+
+/// A sorted, read-only snapshot of an [`EmpiricalDistribution`]: every
+/// order statistic is `&self`, so merged experiment results can be
+/// queried without `mut` plumbing (and shared across report threads).
+#[derive(Debug, Clone, PartialEq, Default, Serialize)]
+pub struct SortedDistribution {
+    values: Vec<f64>,
+}
+
+impl SortedDistribution {
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// Minimum observation (0 when empty).
+    pub fn min(&self) -> f64 {
+        self.values.first().copied().unwrap_or(0.0)
+    }
+
+    /// Maximum observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.values.last().copied().unwrap_or(0.0)
+    }
+
+    /// The `q`-quantile (`q ∈ [0, 1]`), by nearest-rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot is empty or `q` outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(!self.values.is_empty(), "quantile of empty distribution");
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let idx =
+            ((q * (self.values.len() - 1) as f64).round() as usize).min(self.values.len() - 1);
+        self.values[idx]
+    }
+
+    /// Empirical CDF value `P(X ≤ x)` (0 when empty).
+    pub fn cdf(&self, x: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let count = self.values.partition_point(|&v| v <= x);
+        count as f64 / self.values.len() as f64
+    }
+
+    /// `(value, cdf)` points suitable for plotting the CDF curve.
+    pub fn cdf_points(&self) -> Vec<(f64, f64)> {
+        let n = self.values.len();
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (i + 1) as f64 / n as f64))
+            .collect()
     }
 }
 
@@ -210,6 +264,15 @@ impl MetricDistributions {
         self.delay.push(s.avg_delay);
         self.variance.push(s.avg_variance);
     }
+
+    /// Appends every metric of `other` (concatenative — see
+    /// [`EmpiricalDistribution::merge`]).
+    pub fn merge(&mut self, other: &MetricDistributions) {
+        self.qoe.merge(&other.qoe);
+        self.quality.merge(&other.quality);
+        self.delay.merge(&other.delay);
+        self.variance.merge(&other.variance);
+    }
 }
 
 /// Latency summary of one hot-path stage across a run's slots, derived
@@ -249,6 +312,27 @@ impl StageStats {
             p50_us: nearest(0.5),
             p99_us: nearest(0.99),
         }
+    }
+
+    /// Aggregates another worker's stage stats into this one. Counts and
+    /// totals are exact; the mean is recomputed from them; p50/p99 are
+    /// count-weighted averages of the per-worker quantiles (raw samples
+    /// are gone after summarisation, so cross-worker quantiles are
+    /// necessarily approximate — fine for capacity reports).
+    pub fn merge(&mut self, other: &StageStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let (a, b) = (self.count as f64, other.count as f64);
+        self.p50_us = (self.p50_us * a + other.p50_us * b) / (a + b);
+        self.p99_us = (self.p99_us * a + other.p99_us * b) / (a + b);
+        self.count += other.count;
+        self.total_ms += other.total_ms;
+        self.mean_us = self.total_ms * 1e3 / self.count as f64;
     }
 }
 
@@ -291,6 +375,24 @@ impl SlotTimingReport {
             accounting: StageStats::from_ns_samples(timers.accounting.samples_ns()),
         }
     }
+
+    /// Aggregates the timing report of a run that executed *concurrently*
+    /// with this one (another worker's run): slot counts add, wall-clock
+    /// takes the maximum (the workers overlapped), throughput is
+    /// recomputed, and stage stats merge per [`StageStats::merge`].
+    pub fn merge(&mut self, other: &SlotTimingReport) {
+        self.slots += other.slots;
+        self.wall_s = self.wall_s.max(other.wall_s);
+        self.slots_per_sec = if self.wall_s > 0.0 {
+            self.slots as f64 / self.wall_s
+        } else {
+            0.0
+        };
+        self.build.merge(&other.build);
+        self.density.merge(&other.density);
+        self.value.merge(&other.value);
+        self.accounting.merge(&other.accounting);
+    }
 }
 
 #[cfg(test)]
@@ -299,21 +401,24 @@ mod tests {
 
     #[test]
     fn mean_quantile_cdf() {
-        let mut d: EmpiricalDistribution = (1..=10).map(|i| i as f64).collect();
+        let d: EmpiricalDistribution = (1..=10).map(|i| i as f64).collect();
         assert_eq!(d.len(), 10);
         assert!((d.mean() - 5.5).abs() < 1e-12);
-        assert_eq!(d.quantile(0.0), 1.0);
-        assert_eq!(d.quantile(1.0), 10.0);
-        assert_eq!(d.quantile(0.5), 6.0); // nearest rank of index 4.5 → 5
-        assert!((d.cdf(5.0) - 0.5).abs() < 1e-12);
-        assert_eq!(d.cdf(0.0), 0.0);
-        assert_eq!(d.cdf(100.0), 1.0);
+        let s = d.sorted();
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(1.0), 10.0);
+        assert_eq!(s.quantile(0.5), 6.0); // nearest rank of index 4.5 → 5
+        assert!((s.cdf(5.0) - 0.5).abs() < 1e-12);
+        assert_eq!(s.cdf(0.0), 0.0);
+        assert_eq!(s.cdf(100.0), 1.0);
+        assert_eq!(s.mean(), d.mean());
+        assert_eq!(s.len(), d.len());
     }
 
     #[test]
     fn cdf_points_are_monotone() {
-        let mut d: EmpiricalDistribution = [3.0, 1.0, 2.0, 2.0].into_iter().collect();
-        let pts = d.cdf_points();
+        let d: EmpiricalDistribution = [3.0, 1.0, 2.0, 2.0].into_iter().collect();
+        let pts = d.sorted().cdf_points();
         assert_eq!(pts.len(), 4);
         for w in pts.windows(2) {
             assert!(w[1].0 >= w[0].0);
@@ -323,13 +428,13 @@ mod tests {
     }
 
     #[test]
-    fn push_after_sort_resorts() {
+    fn snapshot_reflects_later_pushes() {
         let mut d = EmpiricalDistribution::new();
         d.push(5.0);
         d.push(1.0);
-        assert_eq!(d.quantile(0.0), 1.0);
+        assert_eq!(d.sorted().quantile(0.0), 1.0);
         d.push(0.5);
-        assert_eq!(d.quantile(0.0), 0.5);
+        assert_eq!(d.sorted().quantile(0.0), 0.5);
     }
 
     #[test]
@@ -338,6 +443,11 @@ mod tests {
         d.extend([2.0, -1.0, 7.0]);
         assert_eq!(d.min(), -1.0);
         assert_eq!(d.max(), 7.0);
+        let s = d.sorted();
+        assert_eq!(s.min(), -1.0);
+        assert_eq!(s.max(), 7.0);
+        assert_eq!(SortedDistribution::default().min(), 0.0);
+        assert_eq!(SortedDistribution::default().max(), 0.0);
     }
 
     #[test]
@@ -349,7 +459,60 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty")]
     fn quantile_of_empty_panics() {
-        EmpiricalDistribution::new().quantile(0.5);
+        EmpiricalDistribution::new().sorted().quantile(0.5);
+    }
+
+    #[test]
+    fn merge_of_splits_equals_whole() {
+        let whole: EmpiricalDistribution = (0..100).map(|i| (i * 37 % 50) as f64).collect();
+        let mut merged: EmpiricalDistribution = whole.values()[..33].iter().copied().collect();
+        let mid: EmpiricalDistribution = whole.values()[33..71].iter().copied().collect();
+        let tail: EmpiricalDistribution = whole.values()[71..].iter().copied().collect();
+        merged.merge(&mid);
+        merged.merge(&tail);
+        assert_eq!(merged, whole, "split/merge must reproduce the whole");
+    }
+
+    #[test]
+    fn empty_merge_is_identity() {
+        let d: EmpiricalDistribution = [1.0, 2.0, 3.0].into_iter().collect();
+        let mut left = d.clone();
+        left.merge(&EmpiricalDistribution::new());
+        assert_eq!(left, d);
+        let mut right = EmpiricalDistribution::new();
+        right.merge(&d);
+        assert_eq!(right, d);
+    }
+
+    #[test]
+    fn metric_distributions_merge_matches_sequential() {
+        use cvr_core::qoe::SystemQoeSummary;
+        let summaries: Vec<SystemQoeSummary> = (0..10)
+            .map(|i| SystemQoeSummary {
+                users: 2,
+                avg_qoe: i as f64 * 0.5,
+                avg_quality: 4.0 - i as f64 * 0.1,
+                avg_delay: 0.1 * i as f64,
+                avg_variance: 1.0 / (1.0 + i as f64),
+                avg_hit_rate: 0.9,
+            })
+            .collect();
+        let mut sequential = MetricDistributions::new();
+        for s in &summaries {
+            sequential.push_summary(s);
+        }
+        let mut merged = MetricDistributions::new();
+        for chunk in summaries.chunks(3) {
+            let mut local = MetricDistributions::new();
+            for s in chunk {
+                local.push_summary(s);
+            }
+            merged.merge(&local);
+        }
+        assert_eq!(merged, sequential);
+        let mut with_empty = merged.clone();
+        with_empty.merge(&MetricDistributions::new());
+        assert_eq!(with_empty, sequential);
     }
 
     #[test]
@@ -363,6 +526,27 @@ mod tests {
         assert_eq!(s.p50_us, 51.0); // nearest rank of index 49.5 → 50
         assert_eq!(s.p99_us, 99.0);
         assert_eq!(StageStats::from_ns_samples(&[]), StageStats::default());
+    }
+
+    #[test]
+    fn stage_stats_merge_is_exact_on_counts_and_totals() {
+        let a = StageStats::from_ns_samples(&[1_000, 2_000, 3_000]);
+        let b = StageStats::from_ns_samples(&[5_000]);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count, 4);
+        assert!((merged.total_ms - 0.011).abs() < 1e-12);
+        assert!((merged.mean_us - 2.75).abs() < 1e-9);
+        // Quantiles are count-weighted approximations.
+        assert!(merged.p50_us > a.p50_us && merged.p50_us < b.p50_us);
+
+        // Identity on both sides.
+        let mut left = a.clone();
+        left.merge(&StageStats::default());
+        assert_eq!(left, a);
+        let mut right = StageStats::default();
+        right.merge(&a);
+        assert_eq!(right, a);
     }
 
     #[test]
@@ -383,6 +567,22 @@ mod tests {
         assert!((report.accounting.mean_us - 20.0).abs() < 1e-9);
         let empty = SlotTimingReport::from_timers(&EngineTimers::default(), 0, 0.0);
         assert_eq!(empty.slots_per_sec, 0.0);
+    }
+
+    #[test]
+    fn timing_report_merge_models_concurrent_workers() {
+        use cvr_core::engine::EngineTimers;
+        use std::time::Duration;
+        let mut timers = EngineTimers::default();
+        timers.build.record(Duration::from_micros(10));
+        let a = SlotTimingReport::from_timers(&timers, 100, 2.0);
+        let b = SlotTimingReport::from_timers(&timers, 300, 1.5);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.slots, 400);
+        assert_eq!(merged.wall_s, 2.0); // overlapped workers: max, not sum
+        assert_eq!(merged.slots_per_sec, 200.0);
+        assert_eq!(merged.build.count, 2);
     }
 
     #[test]

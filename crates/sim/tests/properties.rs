@@ -45,10 +45,11 @@ proptest! {
         q1 in 0.0f64..1.0,
         q2 in 0.0f64..1.0,
     ) {
-        let mut d: EmpiricalDistribution = xs.iter().copied().collect();
+        let d: EmpiricalDistribution = xs.iter().copied().collect();
+        let s = d.sorted();
         let (lo, hi) = (q1.min(q2), q1.max(q2));
-        let v_lo = d.quantile(lo);
-        let v_hi = d.quantile(hi);
+        let v_lo = s.quantile(lo);
+        let v_hi = s.quantile(hi);
         prop_assert!(v_lo <= v_hi + 1e-12);
         prop_assert!(v_lo >= d.min() - 1e-12);
         prop_assert!(v_hi <= d.max() + 1e-12);
@@ -60,14 +61,58 @@ proptest! {
         probe1 in -60.0f64..60.0,
         probe2 in -60.0f64..60.0,
     ) {
-        let mut d: EmpiricalDistribution = xs.iter().copied().collect();
+        let d: EmpiricalDistribution = xs.iter().copied().collect();
+        let s = d.sorted();
         let (a, b) = (probe1.min(probe2), probe1.max(probe2));
-        let fa = d.cdf(a);
-        let fb = d.cdf(b);
+        let fa = s.cdf(a);
+        let fb = s.cdf(b);
         prop_assert!((0.0..=1.0).contains(&fa));
         prop_assert!(fa <= fb + 1e-12);
-        prop_assert!((d.cdf(1e9) - 1.0).abs() < 1e-12);
-        prop_assert_eq!(d.cdf(-1e9), 0.0);
+        prop_assert!((s.cdf(1e9) - 1.0).abs() < 1e-12);
+        prop_assert_eq!(s.cdf(-1e9), 0.0);
+    }
+
+    #[test]
+    fn chunked_accumulation_matches_sequential(
+        rows in prop::collection::vec(
+            (0.0f64..10.0, 0.0f64..6.0, 0.0f64..8.0, 0.0f64..4.0),
+            1..60,
+        ),
+        chunk in 1usize..12,
+    ) {
+        // The parallel runner folds runs into per-worker MetricDistributions
+        // and merges the chunks in order; that must reproduce the sequential
+        // accumulation bit for bit, whatever the chunk size.
+        use cvr_core::qoe::SystemQoeSummary;
+        use cvr_sim::metrics::MetricDistributions;
+        let summaries: Vec<SystemQoeSummary> = rows
+            .iter()
+            .map(|&(qoe, quality, delay, variance)| SystemQoeSummary {
+                users: 1,
+                avg_qoe: qoe,
+                avg_quality: quality,
+                avg_delay: delay,
+                avg_variance: variance,
+                avg_hit_rate: 1.0,
+            })
+            .collect();
+        let mut sequential = MetricDistributions::new();
+        for s in &summaries {
+            sequential.push_summary(s);
+        }
+        let mut chunked = MetricDistributions::new();
+        for block in summaries.chunks(chunk) {
+            let mut worker = MetricDistributions::new();
+            for s in block {
+                worker.push_summary(s);
+            }
+            chunked.merge(&worker);
+        }
+        prop_assert_eq!(&chunked, &sequential);
+        prop_assert_eq!(
+            chunked.qoe.sorted().quantile(0.5),
+            sequential.qoe.sorted().quantile(0.5)
+        );
     }
 
     #[test]

@@ -191,7 +191,7 @@ pub mod prop {
         use super::super::{Strategy, TestRng};
         use rand::Rng;
 
-        /// Lengths accepted by [`vec`]: an exact `usize` or a range.
+        /// Lengths accepted by [`vec()`]: an exact `usize` or a range.
         pub trait IntoSizeRange {
             /// Draws a length.
             fn sample_len(&self, rng: &mut TestRng) -> usize;
@@ -220,7 +220,7 @@ pub mod prop {
             VecStrategy { element, len }
         }
 
-        /// Strategy returned by [`vec`].
+        /// Strategy returned by [`vec()`].
         pub struct VecStrategy<S, L> {
             element: S,
             len: L,

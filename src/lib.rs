@@ -63,6 +63,7 @@ pub mod prelude {
         TraceProfile, WirelessRouter,
     };
     pub use cvr_sim::{
-        system_experiment, trace_experiment, AllocatorKind, SystemConfig, TraceSimConfig,
+        system_experiment, system_experiment_threaded, trace_experiment, trace_experiment_threaded,
+        AllocatorKind, SystemConfig, TraceSimConfig,
     };
 }

@@ -12,6 +12,7 @@ fn constant_traces(n: usize, mbps: f64, duration: f64) -> Vec<ThroughputTrace> {
 }
 
 #[test]
+#[ignore = "slow: 70 s four-user trace run; CI covers it via --include-ignored"]
 fn mid_run_bandwidth_collapse_recovers() {
     // 30 s comfortable, 10 s collapse to near-starvation, 30 s recovery.
     let n = 4;
@@ -138,6 +139,33 @@ fn tiny_server_budget_forces_baseline() {
             chosen < 1.05,
             "{}: budget-starved server must pin level 1 (chose {chosen})",
             kind.label()
+        );
+    }
+}
+
+#[test]
+#[ignore = "slow: multi-run parallel stress; CI covers it via --include-ignored"]
+fn parallel_determinism_survives_bandwidth_collapse() {
+    // The parallel runner must stay bit-identical even on the hostile
+    // collapse regime, where per-run trajectories diverge hard and any
+    // scheduling-dependent accumulation would show up immediately.
+    use collaborative_vr::sim::experiment::trace_experiment_threaded;
+    let n = 4;
+    let collapse: Vec<ThroughputTrace> = (0..n)
+        .map(|_| ThroughputTrace::from_segments(vec![(8.0, 80.0), (4.0, 12.0), (8.0, 80.0)]))
+        .collect();
+    let config = TraceSimConfig {
+        duration_s: 20.0,
+        trace_override: Some(collapse),
+        ..TraceSimConfig::paper_default(n, 11)
+    };
+    let kinds = [AllocatorKind::DensityValueGreedy, AllocatorKind::Firefly];
+    let baseline = trace_experiment_threaded(&config, &kinds, 12, Some(1));
+    for threads in [2, 4] {
+        let parallel = trace_experiment_threaded(&config, &kinds, 12, Some(threads));
+        assert_eq!(
+            parallel, baseline,
+            "{threads}-thread run diverged from the 1-thread baseline"
         );
     }
 }
