@@ -45,9 +45,26 @@ cargo run -p cvr-bench --release --bin fig7 -- --runs 4 --duration 5 --csv "$DET
 diff -r "$DET_DIR/t1" "$DET_DIR/t4"
 echo "determinism: outputs byte-for-byte identical"
 
+step "Serve smoke: 2 TCP clients against a live server, 200 slots, zero protocol errors"
+SERVE_PORT=7015
+cargo run -p cvr-serve --release --bin cvr-serve -- \
+    --listen "127.0.0.1:$SERVE_PORT" --clients 2 --slots 200 &
+SERVE_PID=$!
+cargo run -p cvr-serve --release --bin cvr-client -- \
+    --connect "127.0.0.1:$SERVE_PORT" --slots 200 --seed 1 &
+CLIENT1_PID=$!
+cargo run -p cvr-serve --release --bin cvr-client -- \
+    --connect "127.0.0.1:$SERVE_PORT" --slots 200 --seed 2 &
+CLIENT2_PID=$!
+wait "$CLIENT1_PID"
+wait "$CLIENT2_PID"
+wait "$SERVE_PID"
+echo "serve smoke: server and both clients exited cleanly"
+
 step "Bench gate"
 cargo run -p cvr-bench --release --bin slot_engine -- --quick
 cargo run -p cvr-bench --release --bin scale -- --quick
+cargo run -p cvr-bench --release --bin serve_bench -- --quick
 cargo run -p cvr-bench --release --bin bench_check
 
 step "CI pipeline passed"

@@ -11,6 +11,9 @@
 //!   ≥ 0.6. On a single-core host (recorded `available_parallelism` = 1)
 //!   the speedup gates are skipped — there is nothing to parallelise
 //!   onto — but determinism is still enforced.
+//! * `BENCH_serve.json` — the live-server loopback sweep must include a
+//!   point with ≥ 8 clients that keeps ≥ 95 % of its 15 ms slots on
+//!   time, and no sweep point may record a single protocol error.
 //!
 //! Run after the benches: `cargo run -p cvr-bench --release --bin bench_check`
 
@@ -19,6 +22,8 @@ use cvr_bench::json::Json;
 const MIN_ENGINE_SPEEDUP: f64 = 1.5;
 const MIN_PARALLEL_SPEEDUP: f64 = 1.5;
 const MIN_PARALLEL_EFFICIENCY: f64 = 0.6;
+const MIN_SERVE_CLIENTS: usize = 8;
+const MIN_SERVE_ONTIME: f64 = 0.95;
 
 struct Gate {
     failures: Vec<String>,
@@ -157,6 +162,46 @@ fn check_parallel(gate: &mut Gate, doc: &Json) {
     }
 }
 
+fn check_serve(gate: &mut Gate, doc: &Json) {
+    let entries = doc
+        .get("entries")
+        .and_then(Json::as_array)
+        .expect("serve JSON has an `entries` array");
+    gate.check(
+        !entries.is_empty(),
+        "serve: at least one sweep point".to_string(),
+    );
+    let mut saw_full_classroom = false;
+    for entry in entries {
+        let users = entry.get("users").and_then(Json::as_f64).unwrap_or(0.0) as usize;
+        let on_time = entry
+            .get("on_time_fraction")
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN);
+        let protocol_errors = entry
+            .get("protocol_errors")
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN);
+        gate.check(
+            protocol_errors == 0.0,
+            format!("serve @ {users} clients: zero protocol errors"),
+        );
+        if users >= MIN_SERVE_CLIENTS {
+            saw_full_classroom = true;
+            gate.check(
+                on_time >= MIN_SERVE_ONTIME,
+                format!(
+                    "serve @ {users} clients: on-time fraction {on_time:.4} >= {MIN_SERVE_ONTIME}"
+                ),
+            );
+        }
+    }
+    gate.check(
+        saw_full_classroom,
+        format!("serve: sweep reaches >= {MIN_SERVE_CLIENTS} clients"),
+    );
+}
+
 fn main() {
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
     let mut gate = Gate {
@@ -166,6 +211,7 @@ fn main() {
     println!("# Bench gate\n");
     check_slot_engine(&mut gate, &load(&format!("{root}/BENCH_slot_engine.json")));
     check_parallel(&mut gate, &load(&format!("{root}/BENCH_parallel.json")));
+    check_serve(&mut gate, &load(&format!("{root}/BENCH_serve.json")));
 
     println!();
     if gate.failures.is_empty() {

@@ -1,0 +1,139 @@
+//! Live-server benchmark: boots a `cvr-serve` session over loopback
+//! transports, paces it with a real 15 ms slot ticker while a driver
+//! thread replays synthetic motion traces for a sweep of client counts,
+//! and writes `BENCH_serve.json` at the repository root for the CI bench
+//! gate (`bench_check`).
+//!
+//! The gated claims are the paper's liveness requirements: the slot loop
+//! must keep meeting its deadline as the classroom grows (≥ 8 clients at
+//! ≥ 95 % on-time ticks) with zero protocol errors end to end.
+//!
+//! Run: `cargo run -p cvr-bench --release --bin serve_bench [--quick]`
+
+use std::time::Duration;
+
+use cvr_bench::{f3, print_header, print_row, FigureArgs};
+use cvr_serve::client::ClientConfig;
+use cvr_serve::harness::{loopback_fleet, run_realtime};
+use cvr_serve::server::ServeConfig;
+
+/// Slot period, matching the paper's 15 ms upload/render cadence.
+const SLOT: Duration = Duration::from_millis(15);
+
+/// One measured sweep point.
+struct Entry {
+    users: usize,
+    slots: u64,
+    on_time_fraction: f64,
+    p99_tick_us: f64,
+    deadline_misses: u64,
+    protocol_errors: u64,
+    frames_dropped: u64,
+    avg_displayed_quality: f64,
+    avg_rtt_ms: f64,
+}
+
+fn run_point(seed: u64, users: usize, slots: u64) -> Entry {
+    let client_configs: Vec<ClientConfig> = (0..users)
+        .map(|u| ClientConfig {
+            seed: seed ^ (0x5E14E << 8) ^ u as u64,
+            slot_duration_s: SLOT.as_secs_f64(),
+            bandwidth_mbps: 40.0 + 4.0 * u as f64,
+            ..ClientConfig::default()
+        })
+        .collect();
+    let (session, clients) = loopback_fleet(
+        ServeConfig {
+            slot_duration: SLOT,
+            ..ServeConfig::default()
+        },
+        &client_configs,
+    );
+    let (server, client_reports) = run_realtime(session, clients, slots, SLOT);
+
+    let welcomed = client_reports.iter().filter(|r| r.welcomed).count();
+    assert_eq!(welcomed, users, "every client must complete the handshake");
+    let client_errors: u64 = client_reports.iter().map(|r| r.protocol_errors).sum();
+    let avg_displayed_quality = client_reports
+        .iter()
+        .map(|r| r.summary.avg_viewed_quality)
+        .sum::<f64>()
+        / users as f64;
+    let avg_rtt_ms = client_reports
+        .iter()
+        .filter(|r| r.rtt.count > 0)
+        .map(|r| r.rtt.mean_us / 1000.0)
+        .sum::<f64>()
+        / users as f64;
+
+    Entry {
+        users,
+        slots,
+        on_time_fraction: server.on_time_fraction(),
+        p99_tick_us: server.tick.p99_us,
+        deadline_misses: server.counters.tick_overruns,
+        protocol_errors: server.counters.protocol_errors + client_errors,
+        frames_dropped: server.counters.frames_dropped,
+        avg_displayed_quality,
+        avg_rtt_ms,
+    }
+}
+
+fn main() {
+    let args = FigureArgs::parse();
+    // 400 slots × 15 ms = 6 s of wall time per sweep point at full scale.
+    let slots = args.runs_or(400).max(120) as u64;
+
+    println!("# Live server (loopback, realtime {SLOT:?} slots) — {slots} slots per point\n");
+    print_header(&[
+        "users", "on-time", "p99 us", "misses", "proto", "dropped", "quality", "rtt ms",
+    ]);
+
+    let mut entries: Vec<Entry> = Vec::new();
+    for users in [2usize, 4, 8] {
+        let entry = run_point(args.seed, users, slots);
+        print_row(&[
+            entry.users.to_string(),
+            f3(entry.on_time_fraction),
+            f3(entry.p99_tick_us),
+            entry.deadline_misses.to_string(),
+            entry.protocol_errors.to_string(),
+            entry.frames_dropped.to_string(),
+            f3(entry.avg_displayed_quality),
+            f3(entry.avg_rtt_ms),
+        ]);
+        entries.push(entry);
+    }
+    println!();
+
+    let rows: Vec<String> = entries
+        .iter()
+        .map(|e| {
+            format!(
+                "    {{\"users\": {}, \"slots\": {}, \"on_time_fraction\": {:.4}, \
+                 \"p99_tick_us\": {:.2}, \"deadline_misses\": {}, \"protocol_errors\": {}, \
+                 \"frames_dropped\": {}, \"avg_displayed_quality\": {:.3}, \
+                 \"avg_rtt_ms\": {:.3}}}",
+                e.users,
+                e.slots,
+                e.on_time_fraction,
+                e.p99_tick_us,
+                e.deadline_misses,
+                e.protocol_errors,
+                e.frames_dropped,
+                e.avg_displayed_quality,
+                e.avg_rtt_ms
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"serve_loopback\",\n  \"slot_ms\": {:.1},\n  \"slots\": {},\n  \
+         \"entries\": [\n{}\n  ]\n}}\n",
+        SLOT.as_secs_f64() * 1000.0,
+        slots,
+        rows.join(",\n")
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(out, &json).expect("write benchmark JSON");
+    println!("wrote {out}");
+}

@@ -47,6 +47,16 @@ impl VideoId {
         self.0
     }
 
+    /// Reconstructs an ID from a raw packed value received over the wire,
+    /// rejecting encodings no [`VideoId::new`] could have produced (zero
+    /// quality, set bits outside the packed layout).
+    pub fn try_from_raw(raw: u64) -> Option<VideoId> {
+        if raw >> 45 != 0 || raw & 0b111 == 0 {
+            return None;
+        }
+        Some(VideoId(raw))
+    }
+
     /// Unpacks the grid cell.
     pub fn cell(self) -> CellId {
         CellId {

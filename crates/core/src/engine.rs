@@ -63,6 +63,13 @@ impl StageClock {
         self.samples_ns.push(elapsed.as_nanos() as u64);
     }
 
+    /// Records one stage execution from a raw nanosecond measurement —
+    /// for callers (like the live server runtime) that time stages with
+    /// their own clocks instead of a [`Duration`].
+    pub fn record_ns(&mut self, elapsed_ns: u64) {
+        self.samples_ns.push(elapsed_ns);
+    }
+
     /// The raw per-slot samples, in nanoseconds, in recording order.
     pub fn samples_ns(&self) -> &[u64] {
         &self.samples_ns

@@ -1,0 +1,117 @@
+//! `cvr-client`: connect a headless trace-replay client to a running
+//! `cvr-serve` instance over TCP.
+//!
+//! ```text
+//! cvr-client --connect 127.0.0.1:7015 --slots 200 [--seed 1] [--slot-ms 15]
+//! ```
+//!
+//! Exits non-zero if the handshake never completed or any protocol
+//! error occurred.
+
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use cvr_serve::client::{ClientConfig, ReplayClient};
+use cvr_serve::ticker::{SlotTicker, TickPacing};
+use cvr_serve::transport::TcpClientTransport;
+
+/// How long to keep retrying the initial connect (the server may still
+/// be binding when the smoke script launches us).
+const CONNECT_PATIENCE: Duration = Duration::from_secs(10);
+
+struct Args {
+    connect: String,
+    slots: u64,
+    seed: u64,
+    slot_ms: f64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        connect: "127.0.0.1:7015".to_string(),
+        slots: 200,
+        seed: 1,
+        slot_ms: 15.0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--connect" => args.connect = value(),
+            "--slots" => args.slots = value().parse().expect("--slots"),
+            "--seed" => args.seed = value().parse().expect("--seed"),
+            "--slot-ms" => args.slot_ms = value().parse().expect("--slot-ms"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn connect_with_retry(addr: &str) -> TcpStream {
+    let deadline = Instant::now() + CONNECT_PATIENCE;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return stream,
+            Err(e) => {
+                assert!(
+                    Instant::now() < deadline,
+                    "could not connect to {addr}: {e}"
+                );
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let stream = connect_with_retry(&args.connect);
+    let transport = TcpClientTransport::new(stream, 64).expect("wrap connection");
+    let mut client = ReplayClient::new(
+        transport,
+        ClientConfig {
+            seed: args.seed,
+            slot_duration_s: args.slot_ms / 1000.0,
+            ..ClientConfig::default()
+        },
+    );
+
+    let mut ticker = SlotTicker::new(
+        Duration::from_secs_f64(args.slot_ms / 1000.0),
+        TickPacing::Realtime,
+    );
+    for _ in 0..args.slots {
+        client.step_slot();
+        ticker.wait();
+        if client.finished() {
+            break;
+        }
+    }
+    let report = client.finish();
+
+    println!(
+        "user {}: seed={} welcomed={} assignments={} protocol_errors={} \
+         slots={} avg_viewed_q={:.3} avg_delay={:.2} rtt_p99_us={:.1}",
+        report.user_id,
+        report.seed,
+        report.welcomed,
+        report.assignments,
+        report.protocol_errors,
+        report.summary.slots,
+        report.summary.avg_viewed_quality,
+        report.summary.avg_delay,
+        report.rtt.p99_us,
+    );
+
+    if !report.welcomed {
+        eprintln!("FAIL: handshake never completed");
+        std::process::exit(1);
+    }
+    if report.protocol_errors > 0 {
+        eprintln!("FAIL: {} protocol errors", report.protocol_errors);
+        std::process::exit(1);
+    }
+}

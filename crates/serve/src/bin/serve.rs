@@ -1,0 +1,128 @@
+//! `cvr-serve`: boot a live session on a TCP listener, admit a fixed
+//! number of clients, and run a fixed number of 15 ms slots.
+//!
+//! ```text
+//! cvr-serve --listen 127.0.0.1:7015 --clients 2 --slots 200 [--slot-ms 15]
+//! ```
+//!
+//! Exits non-zero if any protocol error occurred — the property the CI
+//! smoke job asserts.
+
+use std::net::TcpListener;
+use std::time::Duration;
+
+use cvr_serve::server::{ServeConfig, Session};
+use cvr_serve::ticker::{SlotTicker, TickPacing};
+use cvr_serve::transport::TcpServerTransport;
+
+struct Args {
+    listen: String,
+    clients: usize,
+    slots: u64,
+    slot_ms: f64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        listen: "127.0.0.1:7015".to_string(),
+        clients: 2,
+        slots: 200,
+        slot_ms: 15.0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--listen" => args.listen = value(),
+            "--clients" => args.clients = value().parse().expect("--clients"),
+            "--slots" => args.slots = value().parse().expect("--slots"),
+            "--slot-ms" => args.slot_ms = value().parse().expect("--slot-ms"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let config = ServeConfig {
+        slot_duration: Duration::from_secs_f64(args.slot_ms / 1000.0),
+        ..ServeConfig::default()
+    };
+    let queue_frames = config.outbound_queue_frames;
+    let mut session = Session::new(config.clone());
+
+    let listener = TcpListener::bind(&args.listen).expect("bind listener");
+    println!(
+        "cvr-serve listening on {} for {} clients ({} slots at {} ms)",
+        listener.local_addr().expect("local addr"),
+        args.clients,
+        args.slots,
+        args.slot_ms
+    );
+    for _ in 0..args.clients {
+        let (stream, peer) = listener.accept().expect("accept");
+        println!("accepted {peer}");
+        let transport = TcpServerTransport::new(stream, queue_frames).expect("wrap connection");
+        session.add_connection(Box::new(transport));
+    }
+
+    let mut ticker = SlotTicker::new(config.slot_duration, TickPacing::Realtime);
+    for _ in 0..args.slots {
+        session.step_slot();
+        let before = ticker.work_ns().len();
+        let on_time = ticker.wait();
+        let work_ns = ticker.work_ns().get(before).copied().unwrap_or(0);
+        session.note_tick(on_time, work_ns);
+        // Every expected client joined and then left: nothing left to do.
+        if session.counters().joins >= args.clients as u64 && session.active_users() == 0 {
+            break;
+        }
+    }
+    session.shutdown();
+    let report = session.report();
+
+    println!(
+        "slots={} on_time={:.3} overruns={} joins={} leaves={} protocol_errors={} \
+         frames_dropped={} degraded={} max_queue={}",
+        report.counters.ticks,
+        report.on_time_fraction(),
+        report.counters.tick_overruns,
+        report.counters.joins,
+        report.counters.leaves,
+        report.counters.protocol_errors,
+        report.counters.frames_dropped,
+        report.counters.degraded_transitions,
+        report.counters.max_outbound_queue_depth,
+    );
+    println!(
+        "stage p99 us: ingest={:.1} build={:.1} density={:.1} value={:.1} transmit={:.1} tick={:.1}",
+        report.ingest.p99_us,
+        report.build.p99_us,
+        report.density.p99_us,
+        report.value.p99_us,
+        report.transmit.p99_us,
+        report.tick.p99_us,
+    );
+    for user in &report.users {
+        println!(
+            "user {}: seed={} slots={} avg_viewed_q={:.3} delta={:.3}",
+            user.user_id, user.seed, user.qoe.slots, user.qoe.avg_viewed_quality, user.delta
+        );
+    }
+
+    if report.counters.protocol_errors > 0 {
+        eprintln!("FAIL: {} protocol errors", report.counters.protocol_errors);
+        std::process::exit(1);
+    }
+    if report.counters.joins < args.clients as u64 {
+        eprintln!(
+            "FAIL: only {}/{} clients joined",
+            report.counters.joins, args.clients
+        );
+        std::process::exit(1);
+    }
+}

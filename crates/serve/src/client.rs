@@ -1,0 +1,295 @@
+//! The headless replay client: the stand-in for one Android phone.
+//!
+//! A [`ReplayClient`] drives a synthetic `cvr-motion` trace through a
+//! [`ClientTransport`]: each slot it uploads its pose and a bandwidth
+//! sample, stores the tiles of any arriving `Assignment` in its buffer
+//! (ACKing them and releasing evictions, which is what arms the server's
+//! retransmission suppression), and records its own displayed-quality
+//! QoE plus per-assignment round-trip times.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use cvr_content::cache::ClientTileBuffer;
+use cvr_content::id::VideoId;
+use cvr_content::library::ContentLibrary;
+use cvr_core::objective::QoeParams;
+use cvr_core::qoe::{UserQoeAccumulator, UserQoeSummary};
+use cvr_core::quality::QualityLevel;
+use cvr_motion::synthetic::{MotionConfig, MotionGenerator};
+use cvr_sim::metrics::StageStats;
+
+use crate::protocol::{ClientMessage, ServerMessage, PROTOCOL_VERSION};
+use crate::transport::ClientTransport;
+
+/// How many in-flight pose timestamps are kept for RTT matching.
+const MAX_PENDING_RTT: usize = 256;
+
+/// Configuration of one replay client.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Trace seed; also announced in the Hello for log correlation.
+    pub seed: u64,
+    /// Slot duration in seconds (must match the server's cadence for the
+    /// motion statistics to be faithful).
+    pub slot_duration_s: f64,
+    /// QoE weights for the client-side accumulator.
+    pub params: QoeParams,
+    /// Tile-buffer threshold (tiles held before releasing old ones).
+    pub buffer_tiles: usize,
+    /// Mean of the synthetic bandwidth samples the client reports, Mbps.
+    pub bandwidth_mbps: f64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            seed: 0,
+            slot_duration_s: 0.015,
+            params: QoeParams::system_default(),
+            buffer_tiles: 600,
+            bandwidth_mbps: 50.0,
+        }
+    }
+}
+
+/// End-of-run client report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientReport {
+    /// The user ID the server assigned (`u32::MAX` if no Welcome ever
+    /// arrived).
+    pub user_id: u32,
+    /// The trace seed.
+    pub seed: u64,
+    /// Client-side QoE over the displayed slots.
+    pub summary: UserQoeSummary,
+    /// Round-trip time from pose upload to the matching assignment.
+    pub rtt: StageStats,
+    /// Assignments received.
+    pub assignments: u64,
+    /// Undecodable frames received from the server.
+    pub protocol_errors: u64,
+    /// Whether the handshake completed.
+    pub welcomed: bool,
+}
+
+/// One trace-replay client over any [`ClientTransport`].
+pub struct ReplayClient<T: ClientTransport> {
+    transport: T,
+    config: ClientConfig,
+    library: ContentLibrary,
+    motion: MotionGenerator,
+    buffer: ClientTileBuffer,
+    rng: ChaCha8Rng,
+    qoe: UserQoeAccumulator,
+    /// Pose sequence numbers paired with their send instants, for RTT.
+    sent_at: VecDeque<(u64, Instant)>,
+    rtt_ns: Vec<u64>,
+    seq: u64,
+    user_id: u32,
+    welcomed: bool,
+    shutdown: bool,
+    assignments: u64,
+    protocol_errors: u64,
+    /// Quality of the most recent assignment — what the headset displays.
+    displayed_quality: Option<QualityLevel>,
+    /// Slot the displayed assignment was planned for, to measure delay.
+    displayed_lag_slots: f64,
+}
+
+impl<T: ClientTransport> ReplayClient<T> {
+    /// Creates the client and immediately sends its `Hello`.
+    pub fn new(mut transport: T, config: ClientConfig) -> Self {
+        transport.send(&ClientMessage::Hello {
+            version: PROTOCOL_VERSION,
+            seed: config.seed,
+        });
+        let motion = MotionGenerator::new(
+            MotionConfig {
+                slot_duration_s: config.slot_duration_s,
+                ..MotionConfig::paper_default()
+            },
+            config.seed,
+        );
+        ReplayClient {
+            transport,
+            motion,
+            buffer: ClientTileBuffer::new(config.buffer_tiles),
+            rng: ChaCha8Rng::seed_from_u64(config.seed ^ 0xC11E_17BA),
+            qoe: UserQoeAccumulator::new(config.params),
+            library: ContentLibrary::paper_default(),
+            sent_at: VecDeque::new(),
+            rtt_ns: Vec::new(),
+            seq: 0,
+            user_id: u32::MAX,
+            welcomed: false,
+            shutdown: false,
+            assignments: 0,
+            protocol_errors: 0,
+            displayed_quality: None,
+            displayed_lag_slots: 0.0,
+            config,
+        }
+    }
+
+    /// Whether the server welcomed this client.
+    pub fn welcomed(&self) -> bool {
+        self.welcomed
+    }
+
+    /// Whether the server announced shutdown or the connection died.
+    pub fn finished(&self) -> bool {
+        self.shutdown || self.transport.is_closed()
+    }
+
+    /// Undecodable downstream frames seen so far.
+    pub fn protocol_errors(&self) -> u64 {
+        self.protocol_errors
+    }
+
+    /// Runs one client slot: drain downstream messages, display and score
+    /// the current content, then upload the next pose and a bandwidth
+    /// sample.
+    pub fn step_slot(&mut self) {
+        self.drain();
+        if self.shutdown {
+            return;
+        }
+
+        let pose = self.motion.step();
+
+        // Display: the most recent assignment's quality counts as viewed
+        // only if every tile the *actual* pose needs is in the buffer at
+        // that quality — the client-side analogue of the FoV hit test.
+        if let Some(quality) = self.displayed_quality {
+            let request = self.library.request_for(&pose);
+            let hit = request.tiles.iter().all(|&t| {
+                self.buffer
+                    .contains(&VideoId::new(request.cell, t, quality))
+            });
+            self.qoe.record(quality, hit, self.displayed_lag_slots);
+        }
+
+        // Upload this slot's pose and a jittered bandwidth observation.
+        self.sent_at.push_back((self.seq, Instant::now()));
+        if self.sent_at.len() > MAX_PENDING_RTT {
+            self.sent_at.pop_front();
+        }
+        self.transport.send(&ClientMessage::Pose {
+            seq: self.seq,
+            pose,
+        });
+        let jitter: f64 = 1.0 + self.rng.gen_range(-0.1..0.1);
+        self.transport.send(&ClientMessage::BandwidthSample {
+            mbps: self.config.bandwidth_mbps * jitter,
+        });
+        self.seq += 1;
+    }
+
+    /// Drains every queued downstream message.
+    fn drain(&mut self) {
+        while let Some(received) = self.transport.try_recv() {
+            match received {
+                Ok(ServerMessage::Welcome { user_id, .. }) => {
+                    self.welcomed = true;
+                    self.user_id = user_id;
+                }
+                Ok(ServerMessage::Assignment {
+                    pose_seq,
+                    quality,
+                    manifest,
+                    ..
+                }) => {
+                    self.assignments += 1;
+                    // RTT: from uploading pose `pose_seq` to seeing the
+                    // assignment planned against it.
+                    while self.sent_at.front().is_some_and(|&(seq, _)| seq < pose_seq) {
+                        self.sent_at.pop_front();
+                    }
+                    if let Some(&(seq, at)) = self.sent_at.front() {
+                        if seq == pose_seq {
+                            self.rtt_ns
+                                .push(at.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+                        }
+                    }
+                    // Store tiles, ACK them, release evictions.
+                    if !manifest.is_empty() {
+                        let mut released = Vec::new();
+                        for &vid in &manifest {
+                            released.extend(self.buffer.store(vid));
+                        }
+                        self.transport.send(&ClientMessage::Ack { ids: manifest });
+                        if !released.is_empty() {
+                            self.transport
+                                .send(&ClientMessage::Release { ids: released });
+                        }
+                    }
+                    if quality == 0 || quality > 7 {
+                        self.protocol_errors += 1;
+                    } else {
+                        self.displayed_quality = Some(QualityLevel::new(quality));
+                        self.displayed_lag_slots = self.seq.saturating_sub(pose_seq) as f64;
+                    }
+                }
+                Ok(ServerMessage::Shutdown) => {
+                    self.shutdown = true;
+                }
+                Err(_) => {
+                    self.protocol_errors += 1;
+                }
+            }
+        }
+    }
+
+    /// Sends `Bye`, closes the transport, and produces the report.
+    pub fn finish(mut self) -> ClientReport {
+        self.drain();
+        self.transport.send(&ClientMessage::Bye);
+        self.transport.close();
+        ClientReport {
+            user_id: self.user_id,
+            seed: self.config.seed,
+            summary: self.qoe.summary(),
+            rtt: StageStats::from_ns_samples(&self.rtt_ns),
+            assignments: self.assignments,
+            protocol_errors: self.protocol_errors,
+            welcomed: self.welcomed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{ServeConfig, Session};
+    use crate::transport::loopback;
+
+    #[test]
+    fn client_handshakes_and_accumulates_qoe_over_loopback() {
+        let mut session = Session::new(ServeConfig::default());
+        let (server_end, client_end) = loopback(64);
+        session.add_connection(Box::new(server_end));
+        let mut client = ReplayClient::new(
+            client_end,
+            ClientConfig {
+                seed: 11,
+                ..ClientConfig::default()
+            },
+        );
+        for _ in 0..40 {
+            session.step_slot();
+            client.step_slot();
+        }
+        session.shutdown();
+        let report = client.finish();
+        assert!(report.welcomed);
+        assert_eq!(report.user_id, 0);
+        assert!(report.assignments > 30);
+        assert_eq!(report.protocol_errors, 0);
+        assert!(report.summary.slots > 0);
+        assert!(report.summary.avg_chosen_quality >= 1.0);
+    }
+}

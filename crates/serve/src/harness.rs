@@ -1,0 +1,135 @@
+//! Drivers that wire a [`Session`] to a fleet of [`ReplayClient`]s.
+//!
+//! Two execution modes, matching the two transports:
+//!
+//! * [`run_lockstep`] — single-threaded, interleaved stepping over
+//!   loopback transports. No clocks, no sleeps: the same seeds produce
+//!   bit-identical reports on every run, which is what the determinism
+//!   tests assert.
+//! * [`run_realtime`] — the session runs on the caller's thread against
+//!   a realtime [`SlotTicker`] while one driver thread paces all the
+//!   clients; used by `serve_bench` to measure deadline behaviour under
+//!   genuine 15 ms pacing.
+
+use std::time::Duration;
+
+use crate::client::{ClientConfig, ClientReport, ReplayClient};
+use crate::server::{ServeConfig, ServeReport, Session};
+use crate::ticker::{SlotTicker, TickPacing};
+use crate::transport::{loopback, LoopbackClientEnd};
+
+/// Builds a session plus `client_configs.len()` loopback replay clients,
+/// already registered with the session (their Hellos are queued).
+pub fn loopback_fleet(
+    server_config: ServeConfig,
+    client_configs: &[ClientConfig],
+) -> (Session, Vec<ReplayClient<LoopbackClientEnd>>) {
+    let mut session = Session::new(server_config.clone());
+    let clients = client_configs
+        .iter()
+        .map(|config| {
+            let (server_end, client_end) = loopback(server_config.outbound_queue_frames);
+            session.add_connection(Box::new(server_end));
+            ReplayClient::new(client_end, config.clone())
+        })
+        .collect();
+    (session, clients)
+}
+
+/// Interleaves server and client slots deterministically for `slots`
+/// slots, then shuts down and reports. Every slot is counted on time
+/// (lockstep has no deadline).
+pub fn run_lockstep(
+    mut session: Session,
+    mut clients: Vec<ReplayClient<LoopbackClientEnd>>,
+    slots: u64,
+) -> (ServeReport, Vec<ClientReport>) {
+    for _ in 0..slots {
+        for client in &mut clients {
+            client.step_slot();
+        }
+        session.step_slot();
+        session.note_tick(true, 0);
+    }
+    session.shutdown();
+    let client_reports = clients.into_iter().map(ReplayClient::finish).collect();
+    (session.report(), client_reports)
+}
+
+/// Runs the session under realtime pacing for `slots` slots while a
+/// driver thread paces every client at the same period; reports from
+/// both sides.
+pub fn run_realtime(
+    mut session: Session,
+    clients: Vec<ReplayClient<LoopbackClientEnd>>,
+    slots: u64,
+    period: Duration,
+) -> (ServeReport, Vec<ClientReport>) {
+    let driver = std::thread::spawn(move || {
+        let mut clients = clients;
+        let mut ticker = SlotTicker::new(period, TickPacing::Realtime);
+        for _ in 0..slots {
+            for client in &mut clients {
+                client.step_slot();
+            }
+            ticker.wait();
+        }
+        clients
+            .into_iter()
+            .map(ReplayClient::finish)
+            .collect::<Vec<_>>()
+    });
+
+    let mut ticker = SlotTicker::new(period, TickPacing::Realtime);
+    session.run(&mut ticker, slots);
+    // A short grace period so the last client uploads are ingested before
+    // the report.
+    session.step_slot();
+    session.note_tick(true, 0);
+    session.shutdown();
+    let client_reports = driver.join().expect("client driver panicked");
+    (session.report(), client_reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet_configs(n: usize) -> Vec<ClientConfig> {
+        (0..n)
+            .map(|u| ClientConfig {
+                seed: 1000 + u as u64,
+                ..ClientConfig::default()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lockstep_fleet_serves_every_client() {
+        let (session, clients) = loopback_fleet(ServeConfig::default(), &fleet_configs(3));
+        let (server_report, client_reports) = run_lockstep(session, clients, 60);
+        assert_eq!(server_report.counters.joins, 3);
+        assert_eq!(server_report.counters.protocol_errors, 0);
+        assert_eq!(server_report.counters.ticks, 60);
+        assert_eq!(client_reports.len(), 3);
+        for report in &client_reports {
+            assert!(report.welcomed);
+            assert!(report.assignments > 40);
+            assert_eq!(report.protocol_errors, 0);
+        }
+    }
+
+    #[test]
+    fn realtime_fleet_meets_deadlines_at_small_scale() {
+        let (session, clients) = loopback_fleet(ServeConfig::default(), &fleet_configs(2));
+        let (server_report, client_reports) =
+            run_realtime(session, clients, 40, Duration::from_millis(5));
+        assert_eq!(server_report.counters.joins, 2);
+        assert_eq!(server_report.counters.protocol_errors, 0);
+        assert!(server_report.on_time_fraction() > 0.5);
+        for report in &client_reports {
+            assert!(report.welcomed);
+            assert_eq!(report.protocol_errors, 0);
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! `cvr-serve`: the live edge-server runtime.
+//!
+//! Where `cvr-sim` *models* the paper's testbed (Java server + 15
+//! Android phones), this crate *runs* it: a [`server::Session`] hosts
+//! one `cvr_core::engine::SlotEngine` per session and drives the
+//! ingest → predict → allocate → transmit loop on a real 15 ms slot
+//! ticker, against real transports.
+//!
+//! The pieces:
+//!
+//! * [`protocol`] — the versioned length-prefixed binary wire protocol
+//!   (poses, ACKs, bandwidth samples upstream; quality assignments and
+//!   tile manifests downstream) with a std-only codec.
+//! * [`transport`] — pluggable transports: an in-process loopback pair
+//!   for deterministic tests and a `std::net::TcpStream` transport with
+//!   per-connection reader/writer threads, bounded outbound queues, and
+//!   a drop-oldest backpressure policy.
+//! * [`server`] — the session/user registry and the per-slot control
+//!   loop, with slow-client degradation and observability counters.
+//! * [`client`] — the headless replay client that stands in for one
+//!   phone, replaying `cvr-motion` synthetic traces.
+//! * [`ticker`] — realtime/immediate slot pacing with deadline
+//!   accounting.
+//! * [`harness`] — lockstep and realtime drivers wiring a session to a
+//!   fleet of replay clients.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod harness;
+pub mod protocol;
+pub mod server;
+pub mod ticker;
+pub mod transport;

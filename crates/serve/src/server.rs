@@ -1,0 +1,844 @@
+//! The live session runtime: the part of the paper's Java edge server
+//! this repo reproduces in Rust.
+//!
+//! A [`Session`] owns one [`SlotEngine`] and a registry of connected
+//! users. Every 15 ms slot it runs the same control loop the system
+//! simulator models, but against real transports:
+//!
+//! 1. **ingest** — drain every connection's upstream queue: handshakes
+//!    join users, poses feed the per-user predictor (and score earlier
+//!    predictions), ACKs update the delivery ledger, bandwidth samples
+//!    feed the EMA estimator.
+//! 2. **plan** — stage the per-slot nonlinear knapsack into the engine
+//!    (ledger-suppressed rates, estimated-delay and variance-penalised
+//!    values) and solve it with the density/value greedy.
+//! 3. **transmit** — send each user its `Assignment` with the manifest
+//!    of tiles this slot actually transmits. Slow clients (saturated or
+//!    stalled outbound queues) are *degraded* to the lowest quality
+//!    instead of being allowed to stall the tick.
+//!
+//! The ledger only marks tiles delivered when the client ACKs them —
+//! exactly the retransmission-suppression protocol of Section V.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use cvr_content::cache::DeliveryLedger;
+use cvr_content::id::VideoId;
+use cvr_content::library::{ContentLibrary, ContentRequest};
+use cvr_core::delay::{DelayModel, Mm1Delay};
+use cvr_core::engine::{SlotEngine, StageClock};
+use cvr_core::objective::QoeParams;
+use cvr_core::qoe::{UserQoeAccumulator, UserQoeSummary};
+use cvr_core::quality::QualityLevel;
+use cvr_motion::accuracy::DeltaEstimator;
+use cvr_motion::pose::Pose;
+use cvr_motion::predict::LinearPredictor;
+use cvr_net::estimate::EmaEstimator;
+use cvr_sim::metrics::StageStats;
+use cvr_sim::system::{sanitize_rates, DELAY_CAP_SLOTS, PIPELINE_SLOTS};
+
+use crate::protocol::{ClientMessage, ServerMessage, PROTOCOL_VERSION};
+use crate::ticker::SlotTicker;
+use crate::transport::{SendStatus, ServerTransport};
+
+/// Control/pose-stream overhead always present on the downlink, Mbps
+/// (mirrors the system simulator's constant).
+const CONTROL_OVERHEAD_MBPS: f64 = 0.2;
+
+/// One-way propagation delay of the wireless hop, seconds (mirrors the
+/// system simulator's constant).
+const PROPAGATION_S: f64 = 0.002;
+
+/// Most prediction records kept per user awaiting their scoring pose.
+const MAX_PENDING_PREDICTIONS: usize = 64;
+
+/// Configuration of a live session.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Slot period (the paper's Δt; 15 ms ≈ a 60 FPS budget with decode
+    /// margin).
+    pub slot_duration: Duration,
+    /// Server uplink limit, Mbps.
+    pub server_total_mbps: f64,
+    /// Per-user bandwidth assumed before the first sample arrives, Mbps.
+    pub default_bandwidth_mbps: f64,
+    /// QoE weights (α, β).
+    pub params: QoeParams,
+    /// EMA weight of the per-user bandwidth estimator.
+    pub ema_weight: f64,
+    /// Per-connection outbound queue capacity, frames.
+    pub outbound_queue_frames: usize,
+    /// Most users the session admits; later Hellos are refused.
+    pub max_users: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            slot_duration: Duration::from_millis(15),
+            server_total_mbps: 400.0,
+            default_bandwidth_mbps: 50.0,
+            params: QoeParams::system_default(),
+            ema_weight: 0.05,
+            outbound_queue_frames: 64,
+            max_users: 16,
+        }
+    }
+}
+
+/// A prediction awaiting the actual pose that scores it.
+#[derive(Debug, Clone, Copy)]
+struct PredictionRecord {
+    /// The client pose sequence this prediction targeted.
+    target_seq: u64,
+    predicted: Pose,
+    quality: QualityLevel,
+    delay_slots: f64,
+}
+
+/// Per-user server-side state.
+struct UserState {
+    transport: Box<dyn ServerTransport>,
+    predictor: LinearPredictor,
+    delta: DeltaEstimator,
+    bandwidth: EmaEstimator,
+    ledger: DeliveryLedger,
+    qoe: UserQoeAccumulator,
+    last_pose: Pose,
+    last_pose_seq: u64,
+    has_pose: bool,
+    /// Slots since the freshest pose arrived.
+    staleness_slots: usize,
+    predictions: VecDeque<PredictionRecord>,
+    /// Degraded users are pinned to the lowest quality until their
+    /// outbound queue drains — the slow-client policy.
+    degraded: bool,
+    seed: u64,
+}
+
+impl UserState {
+    fn new(transport: Box<dyn ServerTransport>, config: &ServeConfig, seed: u64) -> Self {
+        UserState {
+            transport,
+            predictor: LinearPredictor::paper_default(),
+            delta: DeltaEstimator::ewma(1.0, 0.02),
+            bandwidth: EmaEstimator::new(config.ema_weight),
+            ledger: DeliveryLedger::new(),
+            qoe: UserQoeAccumulator::new(config.params),
+            last_pose: Pose::default(),
+            last_pose_seq: 0,
+            has_pose: false,
+            staleness_slots: 0,
+            predictions: VecDeque::new(),
+            degraded: false,
+            seed,
+        }
+    }
+}
+
+/// Observability counters for one session, updated every slot.
+#[derive(Debug, Default, Clone)]
+pub struct ServerCounters {
+    /// Slots executed.
+    pub ticks: u64,
+    /// Slots whose work met the deadline.
+    pub on_time_ticks: u64,
+    /// Slots whose work ran past the period (deadline misses).
+    pub tick_overruns: u64,
+    /// Users admitted over the session lifetime.
+    pub joins: u64,
+    /// Users departed (Bye, close, or protocol error).
+    pub leaves: u64,
+    /// Corrupt frames, version mismatches, and out-of-order handshakes.
+    pub protocol_errors: u64,
+    /// Frames discarded by outbound backpressure across all users.
+    pub frames_dropped: u64,
+    /// Times a user entered the degraded (lowest-quality) state.
+    pub degraded_transitions: u64,
+    /// Deepest outbound queue observed on any connection.
+    pub max_outbound_queue_depth: usize,
+}
+
+/// What one departed (or still-connected, at report time) user looked
+/// like from the server side.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserServerSummary {
+    /// The user's session ID.
+    pub user_id: u32,
+    /// The seed the client announced in its Hello.
+    pub seed: u64,
+    /// Server-side QoE bookkeeping (scored against ACKed poses).
+    pub qoe: UserQoeSummary,
+    /// Final prediction-accuracy estimate δ.
+    pub delta: f64,
+    /// Final bandwidth estimate, Mbps.
+    pub bandwidth_mbps: f64,
+}
+
+/// End-of-run session report: counters plus per-stage timing summaries.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Final counter values.
+    pub counters: ServerCounters,
+    /// Ingest-stage timing per slot.
+    pub ingest: StageStats,
+    /// Transmit-stage timing per slot.
+    pub transmit: StageStats,
+    /// Engine problem-build timing per slot.
+    pub build: StageStats,
+    /// Engine density-pass timing per slot.
+    pub density: StageStats,
+    /// Engine value-pass timing per slot.
+    pub value: StageStats,
+    /// Whole-slot work timing (from the ticker).
+    pub tick: StageStats,
+    /// Per-user server-side summaries, in join order.
+    pub users: Vec<UserServerSummary>,
+}
+
+impl ServeReport {
+    /// Fraction of slots that met the deadline (1.0 before any tick).
+    pub fn on_time_fraction(&self) -> f64 {
+        if self.counters.ticks == 0 {
+            1.0
+        } else {
+            self.counters.on_time_ticks as f64 / self.counters.ticks as f64
+        }
+    }
+}
+
+/// One live session: a registry of users driven through
+/// ingest → plan → transmit each slot by a single [`SlotEngine`].
+pub struct Session {
+    config: ServeConfig,
+    library: ContentLibrary,
+    engine: SlotEngine,
+    users: Vec<Option<UserState>>,
+    pending: Vec<Box<dyn ServerTransport>>,
+    departed: Vec<UserServerSummary>,
+    slot: u64,
+    counters: ServerCounters,
+    ingest_clock: StageClock,
+    transmit_clock: StageClock,
+    tick_clock: StageClock,
+    // Reused per-slot scratch, engine-index order.
+    plan_ids: Vec<usize>,
+    plan_requests: Vec<ContentRequest>,
+    plan_predicted: Vec<Pose>,
+    tile_row: Vec<f64>,
+    manifest: Vec<VideoId>,
+}
+
+impl Session {
+    /// Creates an empty session over the paper-default content library.
+    pub fn new(config: ServeConfig) -> Self {
+        let library = ContentLibrary::paper_default();
+        let levels = library.quality_set().len();
+        Session {
+            config,
+            library,
+            engine: SlotEngine::new(),
+            users: Vec::new(),
+            pending: Vec::new(),
+            departed: Vec::new(),
+            slot: 0,
+            counters: ServerCounters::default(),
+            ingest_clock: StageClock::default(),
+            transmit_clock: StageClock::default(),
+            tick_clock: StageClock::default(),
+            plan_ids: Vec::new(),
+            plan_requests: Vec::new(),
+            plan_predicted: Vec::new(),
+            tile_row: vec![0.0; levels],
+            manifest: Vec::new(),
+        }
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Registers a freshly accepted connection; the user joins once its
+    /// `Hello` arrives.
+    pub fn add_connection(&mut self, transport: Box<dyn ServerTransport>) {
+        self.pending.push(transport);
+    }
+
+    /// Users currently joined.
+    pub fn active_users(&self) -> usize {
+        self.users.iter().filter(|u| u.is_some()).count()
+    }
+
+    /// Slots executed so far.
+    pub fn slot(&self) -> u64 {
+        self.slot
+    }
+
+    /// Live counter values.
+    pub fn counters(&self) -> &ServerCounters {
+        &self.counters
+    }
+
+    /// Executes one slot: ingest → plan → transmit. Does not pace or
+    /// account for deadlines — callers own the clock (see
+    /// [`Session::run`] and [`Session::note_tick`]).
+    pub fn step_slot(&mut self) {
+        let ingest_start = Instant::now();
+        self.admit_pending();
+        self.ingest();
+        self.ingest_clock.record(ingest_start.elapsed());
+
+        self.plan();
+
+        let transmit_start = Instant::now();
+        self.transmit();
+        self.transmit_clock.record(transmit_start.elapsed());
+
+        self.slot += 1;
+    }
+
+    /// Records one completed slot's deadline outcome and work duration.
+    /// [`Session::run`] calls this from its ticker; lockstep harnesses
+    /// call it directly with `on_time = true`.
+    pub fn note_tick(&mut self, on_time: bool, work_ns: u64) {
+        self.counters.ticks += 1;
+        if on_time {
+            self.counters.on_time_ticks += 1;
+        } else {
+            self.counters.tick_overruns += 1;
+        }
+        self.tick_clock.record_ns(work_ns);
+    }
+
+    /// Runs `slots` slots against the given ticker, accounting each
+    /// slot's deadline outcome.
+    pub fn run(&mut self, ticker: &mut SlotTicker, slots: u64) {
+        for _ in 0..slots {
+            self.step_slot();
+            let before = ticker.work_ns().len();
+            let on_time = ticker.wait();
+            let work_ns = ticker.work_ns().get(before).copied().unwrap_or(0);
+            self.note_tick(on_time, work_ns);
+        }
+    }
+
+    /// Sends every connected user a `Shutdown` and closes the transports.
+    pub fn shutdown(&mut self) {
+        for id in 0..self.users.len() {
+            if let Some(mut user) = self.users[id].take() {
+                user.transport.send(&ServerMessage::Shutdown);
+                user.transport.close();
+                self.departed.push(Self::summarise(id as u32, &user));
+                self.counters.leaves += 1;
+            }
+        }
+        for mut t in self.pending.drain(..) {
+            t.close();
+        }
+    }
+
+    /// Builds the end-of-run report. Still-connected users are summarised
+    /// in place; call [`Session::shutdown`] first for a final report.
+    pub fn report(&mut self) -> ServeReport {
+        let mut users = self.departed.clone();
+        for (id, slot) in self.users.iter().enumerate() {
+            if let Some(user) = slot {
+                users.push(Self::summarise(id as u32, user));
+            }
+        }
+        users.sort_by_key(|u| u.user_id);
+        ServeReport {
+            counters: self.counters.clone(),
+            ingest: StageStats::from_clock(&self.ingest_clock),
+            transmit: StageStats::from_clock(&self.transmit_clock),
+            build: StageStats::from_clock(&self.engine.timers().build),
+            density: StageStats::from_clock(&self.engine.timers().density),
+            value: StageStats::from_clock(&self.engine.timers().value),
+            tick: StageStats::from_clock(&self.tick_clock),
+            users,
+        }
+    }
+
+    fn summarise(user_id: u32, user: &UserState) -> UserServerSummary {
+        UserServerSummary {
+            user_id,
+            seed: user.seed,
+            qoe: user.qoe.summary(),
+            delta: user.delta.estimate(),
+            bandwidth_mbps: user.bandwidth.estimate().unwrap_or(f64::NAN),
+        }
+    }
+
+    /// Drains pending connections: a valid `Hello` joins the user, a
+    /// protocol violation refuses the connection.
+    fn admit_pending(&mut self) {
+        let mut pending = std::mem::take(&mut self.pending);
+        pending.retain_mut(|transport| {
+            if transport.is_closed() {
+                return false;
+            }
+            match transport.try_recv() {
+                None => true,
+                Some(Ok(ClientMessage::Hello { version, seed })) => {
+                    if version != PROTOCOL_VERSION || self.active_users() >= self.config.max_users {
+                        if version != PROTOCOL_VERSION {
+                            self.counters.protocol_errors += 1;
+                        }
+                        transport.send(&ServerMessage::Shutdown);
+                        transport.close();
+                        return false;
+                    }
+                    // Take the transport out of the closure's slot by
+                    // swapping in a placeholder that is dropped with the
+                    // retain.
+                    let taken = std::mem::replace(transport, closed_placeholder());
+                    self.join(taken, seed);
+                    false
+                }
+                Some(_) => {
+                    // Anything else before the handshake is a violation.
+                    self.counters.protocol_errors += 1;
+                    transport.close();
+                    false
+                }
+            }
+        });
+        // Re-append connections that arrived while draining (join sends
+        // nothing to pending, but keep the merge for safety).
+        pending.append(&mut self.pending);
+        self.pending = pending;
+    }
+
+    fn join(&mut self, mut transport: Box<dyn ServerTransport>, seed: u64) {
+        let user_id = match self.users.iter().position(|u| u.is_none()) {
+            Some(free) => free,
+            None => {
+                self.users.push(None);
+                self.users.len() - 1
+            }
+        };
+        transport.send(&ServerMessage::Welcome {
+            version: PROTOCOL_VERSION,
+            user_id: user_id as u32,
+            slot_us: self
+                .config
+                .slot_duration
+                .as_micros()
+                .min(u64::from(u32::MAX) as u128) as u32,
+            levels: self.library.quality_set().len() as u8,
+        });
+        self.users[user_id] = Some(UserState::new(transport, &self.config, seed));
+        self.counters.joins += 1;
+    }
+
+    /// Drains every joined user's upstream queue.
+    fn ingest(&mut self) {
+        for id in 0..self.users.len() {
+            let Some(mut user) = self.users[id].take() else {
+                continue;
+            };
+            let mut leave = false;
+            let mut violation = false;
+            while let Some(received) = user.transport.try_recv() {
+                match received {
+                    Ok(ClientMessage::Pose { seq, pose }) => {
+                        user.predictor.observe(&pose);
+                        user.last_pose = pose;
+                        user.last_pose_seq = seq;
+                        user.has_pose = true;
+                        user.staleness_slots = 0;
+                        // Score every prediction this pose (or an earlier,
+                        // missed one) was targeting.
+                        while user
+                            .predictions
+                            .front()
+                            .is_some_and(|p| p.target_seq <= seq)
+                        {
+                            let record = user.predictions.pop_front().expect("checked front");
+                            let hit = self.library.fov().covers(&record.predicted, &pose);
+                            user.delta.record(hit);
+                            user.qoe.record(record.quality, hit, record.delay_slots);
+                        }
+                    }
+                    Ok(ClientMessage::Ack { ids }) => {
+                        for vid in ids {
+                            user.ledger.acknowledge(vid);
+                        }
+                    }
+                    Ok(ClientMessage::Release { ids }) => {
+                        user.ledger.release(ids);
+                    }
+                    Ok(ClientMessage::BandwidthSample { mbps }) => {
+                        user.bandwidth.update(mbps);
+                    }
+                    Ok(ClientMessage::Bye) => {
+                        leave = true;
+                    }
+                    Ok(ClientMessage::Hello { .. }) => {
+                        // Duplicate handshake mid-session.
+                        violation = true;
+                    }
+                    Err(_) => {
+                        violation = true;
+                    }
+                }
+                if leave || violation {
+                    break;
+                }
+            }
+            if violation {
+                self.counters.protocol_errors += 1;
+                leave = true;
+            }
+            if leave || user.transport.is_closed() {
+                user.transport.close();
+                self.departed.push(Self::summarise(id as u32, &user));
+                self.counters.leaves += 1;
+            } else {
+                self.users[id] = Some(user);
+            }
+        }
+    }
+
+    /// Stages this slot's problem into the engine and solves it.
+    fn plan(&mut self) {
+        self.plan_ids.clear();
+        self.plan_requests.clear();
+        self.plan_predicted.clear();
+
+        let dt = self.config.slot_duration.as_secs_f64();
+        let levels = self.library.quality_set().len();
+        let floor_slots = PROPAGATION_S / dt;
+
+        let build_start = Instant::now();
+        self.engine.begin_slot(self.config.server_total_mbps);
+        for id in 0..self.users.len() {
+            let Some(user) = &mut self.users[id] else {
+                continue;
+            };
+            // Predict the pose this slot's content will be displayed
+            // against: pipeline depth plus however stale the freshest
+            // upload already is.
+            let horizon = (PIPELINE_SLOTS + user.staleness_slots) as f64;
+            let predicted = user
+                .predictor
+                .predict_fractional(horizon)
+                .unwrap_or(user.last_pose);
+            let request = self.library.request_for(&predicted);
+            let bn = user
+                .bandwidth
+                .estimate_or(self.config.default_bandwidth_mbps)
+                .max(1.0);
+            let delta = user.delta.estimate();
+            let tracker = *user.qoe.tracker();
+            let fallback = Mm1Delay::new(bn).expect("positive estimate");
+
+            let tables = self.engine.add_user(levels, bn);
+            // Retransmission suppression: only undelivered tiles cost
+            // bandwidth at each level (mirror of the system simulator).
+            for &tile in &request.tiles {
+                self.library
+                    .sizing()
+                    .tile_rate_row(request.cell, tile, &mut self.tile_row);
+                for l in 1..=levels {
+                    let q = QualityLevel::new(l as u8);
+                    if !user
+                        .ledger
+                        .is_delivered(&VideoId::new(request.cell, tile, q))
+                    {
+                        tables.rates[q.index()] += self.tile_row[q.index()];
+                    }
+                }
+            }
+            for l in 1..=levels {
+                let q = QualityLevel::new(l as u8);
+                tables.rates[q.index()] += CONTROL_OVERHEAD_MBPS;
+                let raw = tables.rates[q.index()];
+                let delay = fallback.delay(raw) + floor_slots;
+                tables.values[q.index()] = delta * q.value()
+                    - self.config.params.alpha * delay
+                    - self.config.params.beta * tracker.expected_penalty(q.value(), delta);
+            }
+            sanitize_rates(tables.rates);
+
+            self.plan_ids.push(id);
+            self.plan_requests.push(request);
+            self.plan_predicted.push(predicted);
+        }
+        self.engine.timers_mut().build.record(build_start.elapsed());
+
+        if !self.plan_ids.is_empty() {
+            self.engine.solve();
+        }
+    }
+
+    /// Sends each planned user its assignment and manifest, applying the
+    /// slow-client policy.
+    fn transmit(&mut self) {
+        for i in 0..self.plan_ids.len() {
+            let id = self.plan_ids[i];
+            let Some(user) = &mut self.users[id] else {
+                continue;
+            };
+            let assigned = self.engine.assignment()[i];
+            let quality = if user.degraded {
+                QualityLevel::MIN
+            } else {
+                assigned
+            };
+            let rate = self.engine.rates(i)[quality.index()];
+            let request = &self.plan_requests[i];
+
+            self.manifest.clear();
+            self.manifest.extend(
+                request
+                    .tiles
+                    .iter()
+                    .map(|&t| VideoId::new(request.cell, t, quality))
+                    .filter(|vid| !user.ledger.is_delivered(vid)),
+            );
+
+            let status = user.transport.send(&ServerMessage::Assignment {
+                slot: self.slot,
+                pose_seq: user.last_pose_seq,
+                quality: quality.get(),
+                rate_mbps: rate,
+                manifest: self.manifest.clone(),
+            });
+
+            let depth = user.transport.queue_depth();
+            self.counters.max_outbound_queue_depth =
+                self.counters.max_outbound_queue_depth.max(depth);
+            match status {
+                SendStatus::Sent => {
+                    // Recover once the queue has drained well below
+                    // capacity and the writer is moving again.
+                    if user.degraded
+                        && !user.transport.is_stalled()
+                        && depth <= user.transport.queue_capacity() / 2
+                    {
+                        user.degraded = false;
+                    }
+                }
+                SendStatus::DroppedOldest(n) => {
+                    self.counters.frames_dropped += n as u64;
+                    if !user.degraded {
+                        user.degraded = true;
+                        self.counters.degraded_transitions += 1;
+                    }
+                }
+                SendStatus::Closed => continue,
+            }
+            if user.transport.is_stalled() && !user.degraded {
+                user.degraded = true;
+                self.counters.degraded_transitions += 1;
+            }
+
+            if user.has_pose {
+                user.predictions.push_back(PredictionRecord {
+                    target_seq: user.last_pose_seq + (user.staleness_slots + PIPELINE_SLOTS) as u64,
+                    predicted: self.plan_predicted[i],
+                    quality,
+                    delay_slots: ((user.staleness_slots + PIPELINE_SLOTS) as f64)
+                        .min(DELAY_CAP_SLOTS),
+                });
+                if user.predictions.len() > MAX_PENDING_PREDICTIONS {
+                    user.predictions.pop_front();
+                }
+            }
+            user.staleness_slots += 1;
+        }
+    }
+}
+
+/// A transport stand-in used when moving the real transport out of a
+/// `retain_mut` slot; always closed, never delivers.
+fn closed_placeholder() -> Box<dyn ServerTransport> {
+    struct ClosedTransport;
+    impl ServerTransport for ClosedTransport {
+        fn try_recv(&mut self) -> Option<Result<ClientMessage, crate::protocol::WireError>> {
+            None
+        }
+        fn send(&mut self, _message: &ServerMessage) -> SendStatus {
+            SendStatus::Closed
+        }
+        fn queue_depth(&self) -> usize {
+            0
+        }
+        fn queue_capacity(&self) -> usize {
+            1
+        }
+        fn is_closed(&self) -> bool {
+            true
+        }
+        fn is_stalled(&self) -> bool {
+            false
+        }
+        fn frames_dropped(&self) -> u64 {
+            0
+        }
+        fn close(&mut self) {}
+    }
+    Box::new(ClosedTransport)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{loopback, ClientTransport};
+
+    fn join_one(session: &mut Session) -> crate::transport::LoopbackClientEnd {
+        let (server_end, mut client_end) = loopback(64);
+        session.add_connection(Box::new(server_end));
+        client_end.send(&ClientMessage::Hello {
+            version: PROTOCOL_VERSION,
+            seed: 7,
+        });
+        client_end
+    }
+
+    #[test]
+    fn hello_joins_and_welcome_arrives() {
+        let mut session = Session::new(ServeConfig::default());
+        let mut client = join_one(&mut session);
+        session.step_slot();
+        assert_eq!(session.active_users(), 1);
+        assert_eq!(session.counters().joins, 1);
+        let welcome = client.try_recv().unwrap().unwrap();
+        assert!(matches!(
+            welcome,
+            ServerMessage::Welcome {
+                user_id: 0,
+                levels: 6,
+                ..
+            }
+        ));
+        // An assignment follows in the same slot.
+        let next = client.try_recv().unwrap().unwrap();
+        assert!(matches!(next, ServerMessage::Assignment { slot: 0, .. }));
+    }
+
+    #[test]
+    fn version_mismatch_is_refused_as_protocol_error() {
+        let mut session = Session::new(ServeConfig::default());
+        let (server_end, mut client_end) = loopback(8);
+        session.add_connection(Box::new(server_end));
+        client_end.send(&ClientMessage::Hello {
+            version: PROTOCOL_VERSION + 1,
+            seed: 0,
+        });
+        session.step_slot();
+        assert_eq!(session.active_users(), 0);
+        assert_eq!(session.counters().protocol_errors, 1);
+        assert!(matches!(
+            client_end.try_recv(),
+            Some(Ok(ServerMessage::Shutdown))
+        ));
+    }
+
+    #[test]
+    fn poses_feed_prediction_and_acks_shrink_manifests() {
+        let mut session = Session::new(ServeConfig::default());
+        let mut client = join_one(&mut session);
+        session.step_slot();
+        let _welcome = client.try_recv();
+
+        // Upload a steady pose stream and ACK everything we are assigned.
+        let mut first_manifest_len = None;
+        let mut acked_manifest_len = None;
+        for seq in 0..12u64 {
+            client.send(&ClientMessage::Pose {
+                seq,
+                pose: Pose::default(),
+            });
+            client.send(&ClientMessage::BandwidthSample { mbps: 50.0 });
+            session.step_slot();
+            while let Some(Ok(message)) = client.try_recv() {
+                if let ServerMessage::Assignment { manifest, .. } = message {
+                    if first_manifest_len.is_none() {
+                        first_manifest_len = Some(manifest.len());
+                    } else {
+                        acked_manifest_len = Some(manifest.len());
+                    }
+                    if !manifest.is_empty() {
+                        client.send(&ClientMessage::Ack { ids: manifest });
+                    }
+                }
+            }
+        }
+        // With a static pose and every tile ACKed, later manifests must be
+        // empty: retransmission suppression over the wire.
+        assert!(first_manifest_len.unwrap() > 0);
+        assert_eq!(acked_manifest_len.unwrap(), 0);
+    }
+
+    #[test]
+    fn bye_departs_cleanly() {
+        let mut session = Session::new(ServeConfig::default());
+        let mut client = join_one(&mut session);
+        session.step_slot();
+        client.send(&ClientMessage::Bye);
+        session.step_slot();
+        assert_eq!(session.active_users(), 0);
+        assert_eq!(session.counters().leaves, 1);
+        assert_eq!(session.counters().protocol_errors, 0);
+        let report = session.report();
+        assert_eq!(report.users.len(), 1);
+        assert_eq!(report.users[0].seed, 7);
+    }
+
+    #[test]
+    fn slow_client_degrades_to_lowest_quality_instead_of_stalling() {
+        let mut session = Session::new(ServeConfig::default());
+        let (server_end, mut client) = loopback(3);
+        session.add_connection(Box::new(server_end));
+        client.send(&ClientMessage::Hello {
+            version: PROTOCOL_VERSION,
+            seed: 7,
+        });
+        session.step_slot();
+        client.send(&ClientMessage::Pose {
+            seq: 0,
+            pose: Pose::default(),
+        });
+        // Never drain the client queue: the outbound side must fill, drop
+        // old assignments, and degrade the user.
+        for _ in 0..10 {
+            session.step_slot();
+        }
+        assert!(session.counters().frames_dropped > 0);
+        assert!(session.counters().degraded_transitions >= 1);
+        // Draining shows the surviving assignments are pinned to quality 1
+        // once degradation kicked in.
+        let mut saw_degraded = false;
+        while let Some(Ok(message)) = client.try_recv() {
+            if let ServerMessage::Assignment { quality, .. } = message {
+                saw_degraded |= quality == QualityLevel::MIN.get();
+            }
+        }
+        assert!(saw_degraded);
+    }
+
+    #[test]
+    fn report_times_every_stage() {
+        let mut session = Session::new(ServeConfig::default());
+        let mut client = join_one(&mut session);
+        for seq in 0..8u64 {
+            client.send(&ClientMessage::Pose {
+                seq,
+                pose: Pose::default(),
+            });
+            session.step_slot();
+            session.note_tick(true, 1_000);
+        }
+        let report = session.report();
+        assert_eq!(report.counters.ticks, 8);
+        assert_eq!(report.on_time_fraction(), 1.0);
+        assert_eq!(report.ingest.count, 8);
+        assert_eq!(report.transmit.count, 8);
+        assert_eq!(report.build.count, 8);
+        assert_eq!(report.tick.count, 8);
+    }
+}

@@ -1,0 +1,149 @@
+//! The slot ticker: turns the paper's abstract "every Δt = 15 ms" into a
+//! concrete pacing loop with deadline accounting.
+
+use std::time::{Duration, Instant};
+
+/// How slot boundaries are paced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TickPacing {
+    /// Sleep so each slot starts one period after the previous one
+    /// (wall-clock fidelity; used by the binaries and benches).
+    Realtime,
+    /// Never sleep: every slot is "on time" by definition. Used by
+    /// lockstep tests, where determinism matters and wall time does not.
+    Immediate,
+}
+
+/// Paces a slot loop and accounts for deadline behaviour.
+///
+/// One call to [`SlotTicker::wait`] ends the current slot: it measures
+/// how much of the period the slot's work consumed, then (in realtime
+/// pacing) sleeps out the remainder. A slot whose work ran past the
+/// period is an *overrun*; the ticker resynchronises on the next
+/// boundary rather than letting lateness accumulate.
+#[derive(Debug)]
+pub struct SlotTicker {
+    period: Duration,
+    pacing: TickPacing,
+    slot_start: Instant,
+    ticks: u64,
+    on_time: u64,
+    overruns: u64,
+    work_ns: Vec<u64>,
+}
+
+impl SlotTicker {
+    /// Creates a ticker with the given slot period.
+    pub fn new(period: Duration, pacing: TickPacing) -> Self {
+        SlotTicker {
+            period,
+            pacing,
+            slot_start: Instant::now(),
+            ticks: 0,
+            on_time: 0,
+            overruns: 0,
+            work_ns: Vec::new(),
+        }
+    }
+
+    /// The configured slot period.
+    pub fn period(&self) -> Duration {
+        self.period
+    }
+
+    /// Ends the current slot: records whether its work met the deadline
+    /// and, under realtime pacing, sleeps until the next slot boundary.
+    /// Returns `true` if the slot was on time.
+    pub fn wait(&mut self) -> bool {
+        let worked = self.slot_start.elapsed();
+        self.ticks += 1;
+        self.work_ns
+            .push(worked.as_nanos().min(u64::MAX as u128) as u64);
+        let on_time = self.pacing == TickPacing::Immediate || worked <= self.period;
+        if on_time {
+            self.on_time += 1;
+        } else {
+            self.overruns += 1;
+        }
+        if self.pacing == TickPacing::Realtime {
+            if let Some(remaining) = self.period.checked_sub(worked) {
+                std::thread::sleep(remaining);
+            }
+            // Overruns resynchronise here: the next slot starts now, not
+            // at the missed nominal boundary, so one late slot cannot
+            // cascade into permanent lateness.
+        }
+        self.slot_start = Instant::now();
+        on_time
+    }
+
+    /// Slots completed so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Slots whose work fit inside the period.
+    pub fn on_time(&self) -> u64 {
+        self.on_time
+    }
+
+    /// Fraction of slots that met the deadline (1.0 before any tick).
+    pub fn on_time_fraction(&self) -> f64 {
+        if self.ticks == 0 {
+            1.0
+        } else {
+            self.on_time as f64 / self.ticks as f64
+        }
+    }
+
+    /// Slots whose work exceeded the period.
+    pub fn overruns(&self) -> u64 {
+        self.overruns
+    }
+
+    /// Raw per-slot work durations in nanoseconds, in slot order.
+    pub fn work_ns(&self) -> &[u64] {
+        &self.work_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn immediate_pacing_is_always_on_time_and_never_sleeps() {
+        let mut t = SlotTicker::new(Duration::from_millis(15), TickPacing::Immediate);
+        let start = Instant::now();
+        for _ in 0..1000 {
+            assert!(t.wait());
+        }
+        assert!(start.elapsed() < Duration::from_secs(1));
+        assert_eq!(t.ticks(), 1000);
+        assert_eq!(t.on_time(), 1000);
+        assert_eq!(t.overruns(), 0);
+        assert_eq!(t.on_time_fraction(), 1.0);
+        assert_eq!(t.work_ns().len(), 1000);
+    }
+
+    #[test]
+    fn realtime_pacing_spaces_slots_by_the_period() {
+        let period = Duration::from_millis(5);
+        let mut t = SlotTicker::new(period, TickPacing::Realtime);
+        let start = Instant::now();
+        for _ in 0..6 {
+            t.wait();
+        }
+        // Six periods minimum; sleeps cannot be shorter than requested.
+        assert!(start.elapsed() >= period * 6);
+    }
+
+    #[test]
+    fn slow_work_counts_as_overrun() {
+        let mut t = SlotTicker::new(Duration::from_millis(1), TickPacing::Realtime);
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(!t.wait());
+        assert_eq!(t.overruns(), 1);
+        assert!(t.on_time_fraction() < 1.0);
+    }
+}

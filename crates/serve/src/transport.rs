@@ -1,0 +1,606 @@
+//! Pluggable message transports between the session runtime and its
+//! clients.
+//!
+//! Two implementations share one contract:
+//!
+//! * [`loopback`] — an in-process pair of bounded byte queues. Messages
+//!   still pass through the full wire codec, so the loopback exercises
+//!   the exact bytes TCP would carry, but with no threads, sockets, or
+//!   timing — the substrate for deterministic lockstep tests.
+//! * [`TcpServerTransport`] / [`TcpClientTransport`] — a real
+//!   `std::net::TcpStream` with a reader thread and a writer thread per
+//!   connection, so a slow or dead peer can never block the 15 ms slot
+//!   tick.
+//!
+//! Both directions apply backpressure with a bounded outbound queue and
+//! a *drop-oldest-droppable* policy: when the queue is full, the oldest
+//! per-slot frame (an `Assignment` downstream, a `Pose` upstream) is
+//! discarded first, because the next slot supersedes it anyway. Control
+//! frames (`Hello`/`Welcome`/`Ack`/…) are only dropped when nothing
+//! droppable remains. A transport whose queue is pinned at capacity
+//! reports itself *stalled*; the session reacts by degrading that user
+//! to the lowest quality rather than letting one slow client stall the
+//! slot deadline for everyone.
+
+use std::collections::VecDeque;
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use crate::protocol::{
+    read_frame, tag, write_frame, ClientMessage, FrameError, ServerMessage, WireError,
+};
+
+/// Outcome of handing a message to a transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendStatus {
+    /// The message was queued (or delivered) in order.
+    Sent,
+    /// The message was queued, but the queue was full and this many older
+    /// frames were discarded to make room.
+    DroppedOldest(usize),
+    /// The peer is gone; the message was discarded.
+    Closed,
+}
+
+/// Server-side view of one client connection.
+///
+/// `try_recv` never blocks — the slot tick polls it. `send` never blocks
+/// either: it queues, drops, or reports the connection closed.
+pub trait ServerTransport: Send {
+    /// Pops the next decoded upstream message, if any. A `Some(Err(_))`
+    /// is a protocol violation by the peer (corrupt frame).
+    fn try_recv(&mut self) -> Option<Result<ClientMessage, WireError>>;
+
+    /// Queues a downstream message.
+    fn send(&mut self, message: &ServerMessage) -> SendStatus;
+
+    /// Frames currently waiting in the outbound queue.
+    fn queue_depth(&self) -> usize;
+
+    /// Outbound queue capacity.
+    fn queue_capacity(&self) -> usize;
+
+    /// Whether the connection is gone (peer closed or I/O error).
+    fn is_closed(&self) -> bool;
+
+    /// Whether the outbound path is saturated — the signal to degrade
+    /// this user instead of waiting on them.
+    fn is_stalled(&self) -> bool;
+
+    /// Total frames ever discarded by the backpressure policy.
+    fn frames_dropped(&self) -> u64;
+
+    /// Closes the connection; subsequent sends report [`SendStatus::Closed`].
+    fn close(&mut self);
+}
+
+/// Client-side view of its server connection (mirror of
+/// [`ServerTransport`] with the message directions swapped).
+pub trait ClientTransport: Send {
+    /// Pops the next decoded downstream message, if any.
+    fn try_recv(&mut self) -> Option<Result<ServerMessage, WireError>>;
+
+    /// Queues an upstream message.
+    fn send(&mut self, message: &ClientMessage) -> SendStatus;
+
+    /// Whether the connection is gone.
+    fn is_closed(&self) -> bool;
+
+    /// Closes the connection.
+    fn close(&mut self);
+}
+
+/// One direction's bounded frame queue, shared between the producing and
+/// consuming ends (and, for TCP, their I/O threads).
+struct Queue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+    capacity: usize,
+    /// Frames starting with this tag byte are sacrificed first when the
+    /// queue is full (the next slot's frame supersedes them).
+    droppable_tag: u8,
+}
+
+struct QueueState {
+    frames: VecDeque<Vec<u8>>,
+    closed: bool,
+    dropped: u64,
+}
+
+impl Queue {
+    fn new(capacity: usize, droppable_tag: u8) -> Arc<Queue> {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Arc::new(Queue {
+            state: Mutex::new(QueueState {
+                frames: VecDeque::with_capacity(capacity),
+                closed: false,
+                dropped: 0,
+            }),
+            ready: Condvar::new(),
+            capacity,
+            droppable_tag,
+        })
+    }
+
+    /// Queues a frame, discarding older frames under the drop-oldest
+    /// policy if the queue is full.
+    fn push(&self, frame: Vec<u8>) -> SendStatus {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.closed {
+            return SendStatus::Closed;
+        }
+        let mut dropped = 0usize;
+        while state.frames.len() >= self.capacity {
+            let victim = state
+                .frames
+                .iter()
+                .position(|f| f.first() == Some(&self.droppable_tag))
+                .unwrap_or(0);
+            state.frames.remove(victim);
+            state.dropped += 1;
+            dropped += 1;
+        }
+        state.frames.push_back(frame);
+        drop(state);
+        self.ready.notify_one();
+        if dropped == 0 {
+            SendStatus::Sent
+        } else {
+            SendStatus::DroppedOldest(dropped)
+        }
+    }
+
+    /// Pops the next frame without blocking.
+    fn pop(&self) -> Option<Vec<u8>> {
+        self.state
+            .lock()
+            .expect("queue poisoned")
+            .frames
+            .pop_front()
+    }
+
+    /// Blocks until a frame arrives, the queue closes, or `timeout`
+    /// elapses.
+    fn pop_wait(&self, timeout: Duration) -> Option<Vec<u8>> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(frame) = state.frames.pop_front() {
+                return Some(frame);
+            }
+            if state.closed {
+                return None;
+            }
+            let (next, result) = self
+                .ready
+                .wait_timeout(state, timeout)
+                .expect("queue poisoned");
+            state = next;
+            if result.timed_out() && state.frames.is_empty() {
+                return None;
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").frames.len()
+    }
+
+    fn dropped(&self) -> u64 {
+        self.state.lock().expect("queue poisoned").dropped
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+
+    fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue poisoned").closed
+    }
+}
+
+/// Creates a connected in-process transport pair with bounded queues of
+/// `capacity` frames in each direction.
+pub fn loopback(capacity: usize) -> (LoopbackServerEnd, LoopbackClientEnd) {
+    let upstream = Queue::new(capacity, tag::POSE);
+    let downstream = Queue::new(capacity, tag::ASSIGNMENT);
+    (
+        LoopbackServerEnd {
+            inbound: Arc::clone(&upstream),
+            outbound: Arc::clone(&downstream),
+        },
+        LoopbackClientEnd {
+            inbound: downstream,
+            outbound: upstream,
+        },
+    )
+}
+
+/// Server half of an in-process transport pair (see [`loopback`]).
+pub struct LoopbackServerEnd {
+    inbound: Arc<Queue>,
+    outbound: Arc<Queue>,
+}
+
+impl ServerTransport for LoopbackServerEnd {
+    fn try_recv(&mut self) -> Option<Result<ClientMessage, WireError>> {
+        self.inbound.pop().map(|f| ClientMessage::decode(&f))
+    }
+
+    fn send(&mut self, message: &ServerMessage) -> SendStatus {
+        self.outbound.push(message.to_payload())
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.outbound.len()
+    }
+
+    fn queue_capacity(&self) -> usize {
+        self.outbound.capacity
+    }
+
+    fn is_closed(&self) -> bool {
+        self.outbound.is_closed()
+    }
+
+    fn is_stalled(&self) -> bool {
+        self.outbound.len() >= self.outbound.capacity
+    }
+
+    fn frames_dropped(&self) -> u64 {
+        self.outbound.dropped()
+    }
+
+    fn close(&mut self) {
+        self.inbound.close();
+        self.outbound.close();
+    }
+}
+
+/// Client half of an in-process transport pair (see [`loopback`]).
+pub struct LoopbackClientEnd {
+    inbound: Arc<Queue>,
+    outbound: Arc<Queue>,
+}
+
+impl ClientTransport for LoopbackClientEnd {
+    fn try_recv(&mut self) -> Option<Result<ServerMessage, WireError>> {
+        self.inbound.pop().map(|f| ServerMessage::decode(&f))
+    }
+
+    fn send(&mut self, message: &ClientMessage) -> SendStatus {
+        self.outbound.push(message.to_payload())
+    }
+
+    fn is_closed(&self) -> bool {
+        self.outbound.is_closed()
+    }
+
+    fn close(&mut self) {
+        self.inbound.close();
+        self.outbound.close();
+    }
+}
+
+/// How long the TCP writer thread lets one `write` call stall before
+/// flagging the connection; the session degrades the user rather than
+/// waiting.
+pub const WRITE_STALL_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// A framed `TcpStream` with dedicated reader and writer threads and
+/// bounded queues in both directions. Shared by the server and client
+/// TCP transports — only the droppable tags differ per direction.
+struct FramedPeer {
+    inbound: Arc<Queue>,
+    outbound: Arc<Queue>,
+    stream: TcpStream,
+    stalled: Arc<AtomicBool>,
+    reader: Option<std::thread::JoinHandle<()>>,
+    writer: Option<std::thread::JoinHandle<()>>,
+}
+
+impl FramedPeer {
+    fn new(stream: TcpStream, capacity: usize, drop_in: u8, drop_out: u8) -> std::io::Result<Self> {
+        stream.set_nodelay(true)?;
+        stream.set_write_timeout(Some(WRITE_STALL_TIMEOUT))?;
+        let inbound = Queue::new(capacity, drop_in);
+        let outbound = Queue::new(capacity, drop_out);
+        let stalled = Arc::new(AtomicBool::new(false));
+
+        let reader = {
+            let mut stream = stream.try_clone()?;
+            let inbound = Arc::clone(&inbound);
+            let outbound = Arc::clone(&outbound);
+            std::thread::spawn(move || {
+                loop {
+                    match read_frame(&mut stream) {
+                        Ok(frame) => {
+                            if inbound.push(frame) == SendStatus::Closed {
+                                break;
+                            }
+                        }
+                        Err(FrameError::Closed) => break,
+                        Err(_) => {
+                            // A corrupt length prefix or mid-frame I/O error:
+                            // signal it to the consumer as an undecodable
+                            // frame, then stop reading.
+                            let _ = inbound.push(Vec::new());
+                            break;
+                        }
+                    }
+                }
+                // No more input will arrive; wake the consumer side so a
+                // blocked writer or poller notices promptly.
+                inbound.close();
+                outbound.close();
+            })
+        };
+
+        let writer = {
+            let mut stream = stream.try_clone()?;
+            let outbound = Arc::clone(&outbound);
+            let stalled = Arc::clone(&stalled);
+            std::thread::spawn(move || {
+                'drain: while let Some(frame) = outbound.pop_wait(WRITE_STALL_TIMEOUT) {
+                    loop {
+                        match write_frame(&mut stream, &frame) {
+                            Ok(()) => {
+                                stalled.store(false, Ordering::Relaxed);
+                                break;
+                            }
+                            Err(e)
+                                if e.kind() == std::io::ErrorKind::WouldBlock
+                                    || e.kind() == std::io::ErrorKind::TimedOut =>
+                            {
+                                // The write timed out mid-frame; flag the
+                                // stall and keep pushing this frame (a frame
+                                // must never be half-written).
+                                stalled.store(true, Ordering::Relaxed);
+                                if outbound.is_closed() {
+                                    break 'drain;
+                                }
+                            }
+                            Err(_) => break 'drain,
+                        }
+                    }
+                    let _ = stream.flush();
+                }
+                outbound.close();
+            })
+        };
+
+        Ok(FramedPeer {
+            inbound,
+            outbound,
+            stream,
+            stalled,
+            reader: Some(reader),
+            writer: Some(writer),
+        })
+    }
+
+    fn close(&mut self) {
+        self.inbound.close();
+        self.outbound.close();
+        // Unblocks the reader thread's blocking read.
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+impl Drop for FramedPeer {
+    fn drop(&mut self) {
+        self.close();
+        if let Some(handle) = self.reader.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.writer.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Server-side TCP transport for one accepted connection.
+pub struct TcpServerTransport {
+    peer: FramedPeer,
+}
+
+impl TcpServerTransport {
+    /// Wraps an accepted connection with `capacity`-frame queues in each
+    /// direction, spawning its reader and writer threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket configuration failures.
+    pub fn new(stream: TcpStream, capacity: usize) -> std::io::Result<Self> {
+        Ok(TcpServerTransport {
+            peer: FramedPeer::new(stream, capacity, tag::POSE, tag::ASSIGNMENT)?,
+        })
+    }
+}
+
+impl ServerTransport for TcpServerTransport {
+    fn try_recv(&mut self) -> Option<Result<ClientMessage, WireError>> {
+        self.peer.inbound.pop().map(|f| ClientMessage::decode(&f))
+    }
+
+    fn send(&mut self, message: &ServerMessage) -> SendStatus {
+        self.peer.outbound.push(message.to_payload())
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.peer.outbound.len()
+    }
+
+    fn queue_capacity(&self) -> usize {
+        self.peer.outbound.capacity
+    }
+
+    fn is_closed(&self) -> bool {
+        self.peer.outbound.is_closed()
+    }
+
+    fn is_stalled(&self) -> bool {
+        self.peer.stalled.load(Ordering::Relaxed)
+            || self.peer.outbound.len() >= self.peer.outbound.capacity
+    }
+
+    fn frames_dropped(&self) -> u64 {
+        self.peer.outbound.dropped()
+    }
+
+    fn close(&mut self) {
+        self.peer.close();
+    }
+}
+
+/// Client-side TCP transport.
+pub struct TcpClientTransport {
+    peer: FramedPeer,
+}
+
+impl TcpClientTransport {
+    /// Wraps a connected stream, spawning its reader and writer threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket configuration failures.
+    pub fn new(stream: TcpStream, capacity: usize) -> std::io::Result<Self> {
+        Ok(TcpClientTransport {
+            peer: FramedPeer::new(stream, capacity, tag::ASSIGNMENT, tag::POSE)?,
+        })
+    }
+}
+
+impl ClientTransport for TcpClientTransport {
+    fn try_recv(&mut self) -> Option<Result<ServerMessage, WireError>> {
+        self.peer.inbound.pop().map(|f| ServerMessage::decode(&f))
+    }
+
+    fn send(&mut self, message: &ClientMessage) -> SendStatus {
+        self.peer.outbound.push(message.to_payload())
+    }
+
+    fn is_closed(&self) -> bool {
+        self.peer.outbound.is_closed()
+    }
+
+    fn close(&mut self) {
+        self.peer.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvr_motion::pose::Pose;
+
+    #[test]
+    fn loopback_delivers_in_order() {
+        let (mut server, mut client) = loopback(8);
+        client.send(&ClientMessage::Hello {
+            version: 1,
+            seed: 42,
+        });
+        client.send(&ClientMessage::Bye);
+        assert!(matches!(
+            server.try_recv(),
+            Some(Ok(ClientMessage::Hello { seed: 42, .. }))
+        ));
+        assert!(matches!(server.try_recv(), Some(Ok(ClientMessage::Bye))));
+        assert!(server.try_recv().is_none());
+    }
+
+    #[test]
+    fn full_queue_drops_oldest_assignment_first() {
+        let (mut server, mut client) = loopback(2);
+        let assignment = |slot| ServerMessage::Assignment {
+            slot,
+            pose_seq: 0,
+            quality: 1,
+            rate_mbps: 1.0,
+            manifest: vec![],
+        };
+        assert_eq!(server.send(&ServerMessage::Shutdown), SendStatus::Sent);
+        assert_eq!(server.send(&assignment(1)), SendStatus::Sent);
+        assert_eq!(server.queue_depth(), 2);
+        // Queue full: the assignment is sacrificed, never the control frame.
+        assert_eq!(server.send(&assignment(2)), SendStatus::DroppedOldest(1));
+        assert!(matches!(
+            client.try_recv(),
+            Some(Ok(ServerMessage::Shutdown))
+        ));
+        assert!(matches!(
+            client.try_recv(),
+            Some(Ok(ServerMessage::Assignment { slot: 2, .. }))
+        ));
+        assert_eq!(server.frames_dropped(), 1);
+    }
+
+    #[test]
+    fn stall_is_reported_at_capacity() {
+        let (mut server, _client) = loopback(2);
+        assert!(!server.is_stalled());
+        server.send(&ServerMessage::Shutdown);
+        server.send(&ServerMessage::Shutdown);
+        assert!(server.is_stalled());
+    }
+
+    #[test]
+    fn closed_transport_rejects_sends() {
+        let (mut server, mut client) = loopback(4);
+        server.close();
+        assert!(client.is_closed());
+        assert_eq!(client.send(&ClientMessage::Bye), SendStatus::Closed);
+        assert_eq!(server.send(&ServerMessage::Shutdown), SendStatus::Closed);
+    }
+
+    #[test]
+    fn tcp_round_trip_and_clean_close() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client_thread = std::thread::spawn(move || {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut t = TcpClientTransport::new(stream, 16).unwrap();
+            t.send(&ClientMessage::Pose {
+                seq: 9,
+                pose: Pose::default(),
+            });
+            // Wait for the echo-ish reply.
+            let deadline = std::time::Instant::now() + Duration::from_secs(5);
+            loop {
+                if let Some(msg) = t.try_recv() {
+                    return msg;
+                }
+                assert!(std::time::Instant::now() < deadline, "timed out");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+
+        let (stream, _) = listener.accept().unwrap();
+        let mut server = TcpServerTransport::new(stream, 16).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let got = loop {
+            if let Some(msg) = server.try_recv() {
+                break msg;
+            }
+            assert!(std::time::Instant::now() < deadline, "timed out");
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        assert!(matches!(got, Ok(ClientMessage::Pose { seq: 9, .. })));
+        server.send(&ServerMessage::Welcome {
+            version: 1,
+            user_id: 0,
+            slot_us: 15_000,
+            levels: 6,
+        });
+        let reply = client_thread.join().unwrap();
+        assert!(matches!(
+            reply,
+            Ok(ServerMessage::Welcome { user_id: 0, .. })
+        ));
+        server.close();
+    }
+}

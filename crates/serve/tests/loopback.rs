@@ -1,0 +1,85 @@
+//! Deterministic end-to-end run over the loopback transport: four replay
+//! clients with fixed seeds, driven in lockstep, must produce
+//! bit-identical per-user QoE summaries across two independent runs.
+
+use cvr_serve::client::{ClientConfig, ClientReport};
+use cvr_serve::harness::{loopback_fleet, run_lockstep};
+use cvr_serve::server::{ServeConfig, ServeReport};
+
+const SLOTS: u64 = 300;
+
+fn fleet_configs() -> Vec<ClientConfig> {
+    (0..4)
+        .map(|u| ClientConfig {
+            seed: 0xD15C0 + u as u64,
+            bandwidth_mbps: 40.0 + 5.0 * u as f64,
+            ..ClientConfig::default()
+        })
+        .collect()
+}
+
+fn one_run() -> (ServeReport, Vec<ClientReport>) {
+    let (session, clients) = loopback_fleet(ServeConfig::default(), &fleet_configs());
+    run_lockstep(session, clients, SLOTS)
+}
+
+#[test]
+fn two_runs_are_bit_identical() {
+    let (server_a, clients_a) = one_run();
+    let (server_b, clients_b) = one_run();
+
+    // Client-side: the full report (QoE summary, assignment counts, IDs)
+    // must match field for field. StageStats RTT uses wall clocks, so
+    // compare everything except it.
+    assert_eq!(clients_a.len(), 4);
+    for (a, b) in clients_a.iter().zip(&clients_b) {
+        assert_eq!(a.user_id, b.user_id);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.protocol_errors, 0);
+        assert_eq!(b.protocol_errors, 0);
+        // Bit-identical QoE: UserQoeSummary is PartialEq over raw f64s,
+        // so this is exact equality, not approximate.
+        assert_eq!(a.summary, b.summary);
+    }
+
+    // Server-side: per-user summaries (QoE, δ, bandwidth estimate) must
+    // also be bit-identical, as must every behavioural counter.
+    assert_eq!(server_a.users, server_b.users);
+    assert_eq!(server_a.counters.joins, server_b.counters.joins);
+    assert_eq!(server_a.counters.leaves, server_b.counters.leaves);
+    assert_eq!(
+        server_a.counters.frames_dropped,
+        server_b.counters.frames_dropped
+    );
+    assert_eq!(
+        server_a.counters.protocol_errors,
+        server_b.counters.protocol_errors
+    );
+}
+
+#[test]
+fn lockstep_run_is_healthy() {
+    let (server, clients) = one_run();
+    assert_eq!(server.counters.joins, 4);
+    assert_eq!(server.counters.protocol_errors, 0);
+    assert_eq!(server.counters.ticks, SLOTS);
+    assert_eq!(server.on_time_fraction(), 1.0);
+    for report in &clients {
+        assert!(report.welcomed);
+        // Every slot after the handshake produces an assignment.
+        assert!(report.assignments >= SLOTS - 2);
+        // The client displayed real content at real quality.
+        assert!(report.summary.slots >= SLOTS - 3);
+        assert!(report.summary.avg_chosen_quality >= 1.0);
+        assert!(report.summary.avg_viewed_quality > 0.0);
+    }
+    // Retransmission suppression works end to end: with ~50 Mbps per
+    // client the manifests shrink to deltas, so the server-side ledger
+    // produced hits and the prediction accuracy estimate moved off its
+    // 1.0 prior only where misses happened.
+    for user in &server.users {
+        assert!(user.delta > 0.0 && user.delta <= 1.0);
+        assert!(user.bandwidth_mbps > 0.0);
+    }
+}

@@ -1,0 +1,84 @@
+//! TCP smoke test: a real listener on an ephemeral port, two replay
+//! clients over real sockets, zero protocol errors.
+
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+use cvr_serve::client::{ClientConfig, ReplayClient};
+use cvr_serve::server::{ServeConfig, Session};
+use cvr_serve::ticker::{SlotTicker, TickPacing};
+use cvr_serve::transport::{TcpClientTransport, TcpServerTransport};
+
+const SLOTS: u64 = 80;
+const SLOT: Duration = Duration::from_millis(5);
+
+#[test]
+fn two_tcp_clients_stream_without_protocol_errors() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+
+    let clients: Vec<_> = (0..2)
+        .map(|u| {
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                let transport = TcpClientTransport::new(stream, 64).expect("transport");
+                let mut client = ReplayClient::new(
+                    transport,
+                    ClientConfig {
+                        seed: 40 + u,
+                        slot_duration_s: SLOT.as_secs_f64(),
+                        ..ClientConfig::default()
+                    },
+                );
+                let mut ticker = SlotTicker::new(SLOT, TickPacing::Realtime);
+                for _ in 0..SLOTS {
+                    client.step_slot();
+                    ticker.wait();
+                    if client.finished() {
+                        break;
+                    }
+                }
+                client.finish()
+            })
+        })
+        .collect();
+
+    let mut session = Session::new(ServeConfig {
+        slot_duration: SLOT,
+        ..ServeConfig::default()
+    });
+    for _ in 0..2 {
+        let (stream, _) = listener.accept().expect("accept");
+        session.add_connection(Box::new(
+            TcpServerTransport::new(stream, 64).expect("transport"),
+        ));
+    }
+    let mut ticker = SlotTicker::new(SLOT, TickPacing::Realtime);
+    // A few grace slots beyond the client horizon so the final uploads
+    // are ingested before shutdown.
+    session.run(&mut ticker, SLOTS + 5);
+    session.shutdown();
+    let server_report = session.report();
+
+    let client_reports: Vec<_> = clients
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .collect();
+
+    assert_eq!(server_report.counters.joins, 2);
+    assert_eq!(server_report.counters.protocol_errors, 0);
+    let mut user_ids: Vec<_> = client_reports.iter().map(|r| r.user_id).collect();
+    user_ids.sort_unstable();
+    assert_eq!(user_ids, vec![0, 1]);
+    for report in &client_reports {
+        assert!(report.welcomed, "client {} never welcomed", report.seed);
+        assert_eq!(report.protocol_errors, 0);
+        assert!(
+            report.assignments > SLOTS / 2,
+            "client {} got only {} assignments",
+            report.seed,
+            report.assignments
+        );
+        assert!(report.summary.slots > 0);
+    }
+}

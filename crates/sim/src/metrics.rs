@@ -292,6 +292,24 @@ pub struct StageStats {
 }
 
 impl StageStats {
+    /// Snapshots a [`StageClock`](cvr_core::engine::StageClock) into
+    /// summary statistics without consuming its samples. This is the
+    /// public bridge that lets consumers *outside* the simulators (the
+    /// live server runtime, ad-hoc harnesses) reuse the hot-path timing
+    /// machinery.
+    pub fn from_clock(clock: &cvr_core::engine::StageClock) -> Self {
+        StageStats::from_ns_samples(clock.samples_ns())
+    }
+
+    /// Snapshots a clock and resets it — the windowed-observability
+    /// pattern: summarise the stage's samples since the last snapshot,
+    /// then start a fresh window.
+    pub fn take(clock: &mut cvr_core::engine::StageClock) -> Self {
+        let stats = StageStats::from_clock(clock);
+        clock.clear();
+        stats
+    }
+
     /// Summarises raw per-slot samples (nanoseconds, as recorded by a
     /// `StageClock`). Zero stats when the stage never ran.
     pub fn from_ns_samples(samples_ns: &[u64]) -> Self {

@@ -779,7 +779,10 @@ pub fn transfer_loss_probability(p: f64, packets: u32) -> f64 {
 /// Forces a raw per-level rate vector to be positive and strictly
 /// increasing (retransmission suppression can make levels momentarily
 /// equal-cost; the allocator's invariants require strict monotonicity).
-fn sanitize_rates(rates: &mut [f64]) {
+/// Public so every loop that stages ledger-suppressed rates into a
+/// [`SlotEngine`] — the system simulator here, the live server runtime —
+/// enforces the same invariant the same way.
+pub fn sanitize_rates(rates: &mut [f64]) {
     let mut floor = 0.05;
     for r in rates.iter_mut() {
         if !r.is_finite() || *r < floor {

@@ -15,7 +15,9 @@
 //! * [`cvr_motion`] (`motion`) — poses, FoV, synthetic traces, prediction;
 //! * [`cvr_net`] (`net`) — throughput traces, queueing, estimators, channels;
 //! * [`cvr_render`] (`render`) — online GPU render/encode farm (§VIII future work);
-//! * [`cvr_sim`] (`sim`) — trace-based and full-system simulators.
+//! * [`cvr_sim`] (`sim`) — trace-based and full-system simulators;
+//! * [`cvr_serve`] (`serve`) — live edge-server runtime: sessions, wire
+//!   protocol, transports, trace-replay clients.
 //!
 //! ## Quickstart
 //!
@@ -48,6 +50,7 @@ pub use cvr_core as core;
 pub use cvr_motion as motion;
 pub use cvr_net as net;
 pub use cvr_render as render;
+pub use cvr_serve as serve;
 pub use cvr_sim as sim;
 
 /// The most commonly used items across all member crates.
