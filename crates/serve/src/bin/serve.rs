@@ -73,10 +73,8 @@ fn main() {
     let mut ticker = SlotTicker::new(config.slot_duration, TickPacing::Realtime);
     for _ in 0..args.slots {
         session.step_slot();
-        let before = ticker.work_ns().len();
         let on_time = ticker.wait();
-        let work_ns = ticker.work_ns().get(before).copied().unwrap_or(0);
-        session.note_tick(on_time, work_ns);
+        session.note_tick(on_time, ticker.last_work_ns());
         // Every expected client joined and then left: nothing left to do.
         if session.counters().joins >= args.clients as u64 && session.active_users() == 0 {
             break;

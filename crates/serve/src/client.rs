@@ -90,6 +90,9 @@ pub struct ReplayClient<T: ClientTransport> {
     rtt_ns: Vec<u64>,
     seq: u64,
     user_id: u32,
+    /// Quality-ladder depth announced in the Welcome; assignments above
+    /// it are protocol violations. Zero until the handshake completes.
+    levels: u8,
     welcomed: bool,
     shutdown: bool,
     assignments: u64,
@@ -125,6 +128,7 @@ impl<T: ClientTransport> ReplayClient<T> {
             rtt_ns: Vec::new(),
             seq: 0,
             user_id: u32::MAX,
+            levels: 0,
             welcomed: false,
             shutdown: false,
             assignments: 0,
@@ -193,9 +197,12 @@ impl<T: ClientTransport> ReplayClient<T> {
     fn drain(&mut self) {
         while let Some(received) = self.transport.try_recv() {
             match received {
-                Ok(ServerMessage::Welcome { user_id, .. }) => {
+                Ok(ServerMessage::Welcome {
+                    user_id, levels, ..
+                }) => {
                     self.welcomed = true;
                     self.user_id = user_id;
+                    self.levels = levels;
                 }
                 Ok(ServerMessage::Assignment {
                     pose_seq,
@@ -227,7 +234,7 @@ impl<T: ClientTransport> ReplayClient<T> {
                                 .send(&ClientMessage::Release { ids: released });
                         }
                     }
-                    if quality == 0 || quality > 7 {
+                    if quality == 0 || quality > self.levels {
                         self.protocol_errors += 1;
                     } else {
                         self.displayed_quality = Some(QualityLevel::new(quality));

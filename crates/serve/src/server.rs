@@ -99,6 +99,10 @@ struct PredictionRecord {
 
 /// Per-user server-side state.
 struct UserState {
+    /// Session-unique user ID, assigned monotonically at join — never
+    /// reused after a departure, unlike the registry slot holding this
+    /// state.
+    user_id: u32,
     transport: Box<dyn ServerTransport>,
     predictor: LinearPredictor,
     delta: DeltaEstimator,
@@ -118,8 +122,14 @@ struct UserState {
 }
 
 impl UserState {
-    fn new(transport: Box<dyn ServerTransport>, config: &ServeConfig, seed: u64) -> Self {
+    fn new(
+        user_id: u32,
+        transport: Box<dyn ServerTransport>,
+        config: &ServeConfig,
+        seed: u64,
+    ) -> Self {
         UserState {
+            user_id,
             transport,
             predictor: LinearPredictor::paper_default(),
             delta: DeltaEstimator::ewma(1.0, 0.02),
@@ -217,6 +227,9 @@ pub struct Session {
     users: Vec<Option<UserState>>,
     pending: Vec<Box<dyn ServerTransport>>,
     departed: Vec<UserServerSummary>,
+    /// Next user ID to hand out; IDs are never reused even when registry
+    /// slots are, so report summaries stay unambiguous across churn.
+    next_user_id: u32,
     slot: u64,
     counters: ServerCounters,
     ingest_clock: StageClock,
@@ -242,6 +255,7 @@ impl Session {
             users: Vec::new(),
             pending: Vec::new(),
             departed: Vec::new(),
+            next_user_id: 0,
             slot: 0,
             counters: ServerCounters::default(),
             ingest_clock: StageClock::default(),
@@ -317,20 +331,18 @@ impl Session {
     pub fn run(&mut self, ticker: &mut SlotTicker, slots: u64) {
         for _ in 0..slots {
             self.step_slot();
-            let before = ticker.work_ns().len();
             let on_time = ticker.wait();
-            let work_ns = ticker.work_ns().get(before).copied().unwrap_or(0);
-            self.note_tick(on_time, work_ns);
+            self.note_tick(on_time, ticker.last_work_ns());
         }
     }
 
     /// Sends every connected user a `Shutdown` and closes the transports.
     pub fn shutdown(&mut self) {
-        for id in 0..self.users.len() {
-            if let Some(mut user) = self.users[id].take() {
+        for slot in &mut self.users {
+            if let Some(mut user) = slot.take() {
                 user.transport.send(&ServerMessage::Shutdown);
                 user.transport.close();
-                self.departed.push(Self::summarise(id as u32, &user));
+                self.departed.push(Self::summarise(&user));
                 self.counters.leaves += 1;
             }
         }
@@ -343,10 +355,8 @@ impl Session {
     /// in place; call [`Session::shutdown`] first for a final report.
     pub fn report(&mut self) -> ServeReport {
         let mut users = self.departed.clone();
-        for (id, slot) in self.users.iter().enumerate() {
-            if let Some(user) = slot {
-                users.push(Self::summarise(id as u32, user));
-            }
+        for user in self.users.iter().flatten() {
+            users.push(Self::summarise(user));
         }
         users.sort_by_key(|u| u.user_id);
         ServeReport {
@@ -361,9 +371,9 @@ impl Session {
         }
     }
 
-    fn summarise(user_id: u32, user: &UserState) -> UserServerSummary {
+    fn summarise(user: &UserState) -> UserServerSummary {
         UserServerSummary {
-            user_id,
+            user_id: user.user_id,
             seed: user.seed,
             qoe: user.qoe.summary(),
             delta: user.delta.estimate(),
@@ -412,16 +422,18 @@ impl Session {
     }
 
     fn join(&mut self, mut transport: Box<dyn ServerTransport>, seed: u64) {
-        let user_id = match self.users.iter().position(|u| u.is_none()) {
+        let slot = match self.users.iter().position(|u| u.is_none()) {
             Some(free) => free,
             None => {
                 self.users.push(None);
                 self.users.len() - 1
             }
         };
+        let user_id = self.next_user_id;
+        self.next_user_id += 1;
         transport.send(&ServerMessage::Welcome {
             version: PROTOCOL_VERSION,
-            user_id: user_id as u32,
+            user_id,
             slot_us: self
                 .config
                 .slot_duration
@@ -429,7 +441,7 @@ impl Session {
                 .min(u64::from(u32::MAX) as u128) as u32,
             levels: self.library.quality_set().len() as u8,
         });
-        self.users[user_id] = Some(UserState::new(transport, &self.config, seed));
+        self.users[slot] = Some(UserState::new(user_id, transport, &self.config, seed));
         self.counters.joins += 1;
     }
 
@@ -494,7 +506,7 @@ impl Session {
             }
             if leave || user.transport.is_closed() {
                 user.transport.close();
-                self.departed.push(Self::summarise(id as u32, &user));
+                self.departed.push(Self::summarise(&user));
                 self.counters.leaves += 1;
             } else {
                 self.users[id] = Some(user);
@@ -772,6 +784,24 @@ mod tests {
         // empty: retransmission suppression over the wire.
         assert!(first_manifest_len.unwrap() > 0);
         assert_eq!(acked_manifest_len.unwrap(), 0);
+    }
+
+    #[test]
+    fn departed_user_ids_are_never_reused() {
+        let mut session = Session::new(ServeConfig::default());
+        let mut first = join_one(&mut session);
+        session.step_slot();
+        first.send(&ClientMessage::Bye);
+        session.step_slot();
+        assert_eq!(session.active_users(), 0);
+        // The replacement reuses the registry slot but gets a fresh ID.
+        let mut second = join_one(&mut session);
+        session.step_slot();
+        let welcome = second.try_recv().unwrap().unwrap();
+        assert!(matches!(welcome, ServerMessage::Welcome { user_id: 1, .. }));
+        session.shutdown();
+        let ids: Vec<_> = session.report().users.iter().map(|u| u.user_id).collect();
+        assert_eq!(ids, vec![0, 1]);
     }
 
     #[test]

@@ -29,7 +29,10 @@ pub struct SlotTicker {
     ticks: u64,
     on_time: u64,
     overruns: u64,
-    work_ns: Vec<u64>,
+    /// Work duration of the most recent slot, nanoseconds. Only the last
+    /// sample is kept — per-slot history belongs to the caller's
+    /// `StageClock`/`StageStats`, so a long-lived ticker stays O(1).
+    last_work_ns: u64,
 }
 
 impl SlotTicker {
@@ -42,7 +45,7 @@ impl SlotTicker {
             ticks: 0,
             on_time: 0,
             overruns: 0,
-            work_ns: Vec::new(),
+            last_work_ns: 0,
         }
     }
 
@@ -57,8 +60,7 @@ impl SlotTicker {
     pub fn wait(&mut self) -> bool {
         let worked = self.slot_start.elapsed();
         self.ticks += 1;
-        self.work_ns
-            .push(worked.as_nanos().min(u64::MAX as u128) as u64);
+        self.last_work_ns = worked.as_nanos().min(u64::MAX as u128) as u64;
         let on_time = self.pacing == TickPacing::Immediate || worked <= self.period;
         if on_time {
             self.on_time += 1;
@@ -101,9 +103,10 @@ impl SlotTicker {
         self.overruns
     }
 
-    /// Raw per-slot work durations in nanoseconds, in slot order.
-    pub fn work_ns(&self) -> &[u64] {
-        &self.work_ns
+    /// Work duration of the most recent slot, nanoseconds (0 before any
+    /// tick).
+    pub fn last_work_ns(&self) -> u64 {
+        self.last_work_ns
     }
 }
 
@@ -123,7 +126,6 @@ mod tests {
         assert_eq!(t.on_time(), 1000);
         assert_eq!(t.overruns(), 0);
         assert_eq!(t.on_time_fraction(), 1.0);
-        assert_eq!(t.work_ns().len(), 1000);
     }
 
     #[test]

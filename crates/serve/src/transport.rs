@@ -29,9 +29,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-use crate::protocol::{
-    read_frame, tag, write_frame, ClientMessage, FrameError, ServerMessage, WireError,
-};
+use crate::protocol::{read_frame, tag, ClientMessage, FrameError, ServerMessage, WireError};
 
 /// Outcome of handing a message to a transport.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -162,9 +160,10 @@ impl Queue {
             .pop_front()
     }
 
-    /// Blocks until a frame arrives, the queue closes, or `timeout`
-    /// elapses.
-    fn pop_wait(&self, timeout: Duration) -> Option<Vec<u8>> {
+    /// Blocks until a frame arrives or the queue closes. Pending frames
+    /// are drained even after closure; `None` means closed and empty —
+    /// an idle queue waits indefinitely rather than giving up.
+    fn pop_wait(&self) -> Option<Vec<u8>> {
         let mut state = self.state.lock().expect("queue poisoned");
         loop {
             if let Some(frame) = state.frames.pop_front() {
@@ -173,14 +172,7 @@ impl Queue {
             if state.closed {
                 return None;
             }
-            let (next, result) = self
-                .ready
-                .wait_timeout(state, timeout)
-                .expect("queue poisoned");
-            state = next;
-            if result.timed_out() && state.frames.is_empty() {
-                return None;
-            }
+            state = self.ready.wait(state).expect("queue poisoned");
         }
     }
 
@@ -344,22 +336,33 @@ impl FramedPeer {
             let outbound = Arc::clone(&outbound);
             let stalled = Arc::clone(&stalled);
             std::thread::spawn(move || {
-                'drain: while let Some(frame) = outbound.pop_wait(WRITE_STALL_TIMEOUT) {
-                    loop {
-                        match write_frame(&mut stream, &frame) {
-                            Ok(()) => {
+                // Prefix and payload live in one buffer with a cursor so a
+                // timed-out write resumes at the exact byte it stalled on —
+                // a frame must never be resent from byte 0 once part of it
+                // is on the wire, or the peer's framing is corrupted.
+                let mut buf: Vec<u8> = Vec::new();
+                'drain: while let Some(frame) = outbound.pop_wait() {
+                    buf.clear();
+                    buf.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+                    buf.extend_from_slice(&frame);
+                    let mut written = 0usize;
+                    while written < buf.len() {
+                        match stream.write(&buf[written..]) {
+                            Ok(0) => break 'drain,
+                            Ok(n) => {
+                                written += n;
                                 stalled.store(false, Ordering::Relaxed);
-                                break;
                             }
+                            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
                             Err(e)
                                 if e.kind() == std::io::ErrorKind::WouldBlock
                                     || e.kind() == std::io::ErrorKind::TimedOut =>
                             {
-                                // The write timed out mid-frame; flag the
-                                // stall and keep pushing this frame (a frame
-                                // must never be half-written).
                                 stalled.store(true, Ordering::Relaxed);
-                                if outbound.is_closed() {
+                                // Mid-frame we must keep pushing even while
+                                // closing; the socket shutdown will surface a
+                                // hard error if the peer is truly gone.
+                                if outbound.is_closed() && written == 0 {
                                     break 'drain;
                                 }
                             }
@@ -555,6 +558,35 @@ mod tests {
         assert!(client.is_closed());
         assert_eq!(client.send(&ClientMessage::Bye), SendStatus::Closed);
         assert_eq!(server.send(&ServerMessage::Shutdown), SendStatus::Closed);
+    }
+
+    #[test]
+    fn idle_writer_does_not_close_the_connection() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client_thread = std::thread::spawn(move || {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut t = TcpClientTransport::new(stream, 16).unwrap();
+            let deadline = std::time::Instant::now() + Duration::from_secs(5);
+            loop {
+                if let Some(msg) = t.try_recv() {
+                    return msg;
+                }
+                assert!(std::time::Instant::now() < deadline, "timed out");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        });
+
+        let (stream, _) = listener.accept().unwrap();
+        let mut server = TcpServerTransport::new(stream, 16).unwrap();
+        // Both directions stay silent well past the write-stall timeout;
+        // the writer thread must keep waiting, not tear the link down.
+        std::thread::sleep(WRITE_STALL_TIMEOUT + Duration::from_millis(150));
+        assert!(!server.is_closed());
+        server.send(&ServerMessage::Shutdown);
+        let got = client_thread.join().unwrap();
+        assert!(matches!(got, Ok(ServerMessage::Shutdown)));
+        server.close();
     }
 
     #[test]
