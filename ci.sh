@@ -65,6 +65,7 @@ step "Bench gate"
 cargo run -p cvr-bench --release --bin slot_engine -- --quick
 cargo run -p cvr-bench --release --bin scale -- --quick
 cargo run -p cvr-bench --release --bin serve_bench -- --quick
+cargo run -p cvr-bench --release --bin build_bench -- --quick
 cargo run -p cvr-bench --release --bin bench_check
 
 step "CI pipeline passed"

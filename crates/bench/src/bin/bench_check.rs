@@ -14,12 +14,17 @@
 //! * `BENCH_serve.json` — the live-server loopback sweep must include a
 //!   point with ≥ 8 clients that keeps ≥ 95 % of its 15 ms slots on
 //!   time, and no sweep point may record a single protocol error.
+//! * `BENCH_build.json` — the cached build-stage data plane must keep a
+//!   ≥ 2× build speedup over the per-slot rederiving path on every
+//!   setup, with solver assignments identical to the reference build at
+//!   every benchmarked thread count.
 //!
 //! Run after the benches: `cargo run -p cvr-bench --release --bin bench_check`
 
 use cvr_bench::json::Json;
 
 const MIN_ENGINE_SPEEDUP: f64 = 1.5;
+const MIN_BUILD_SPEEDUP: f64 = 2.0;
 const MIN_PARALLEL_SPEEDUP: f64 = 1.5;
 const MIN_PARALLEL_EFFICIENCY: f64 = 0.6;
 const MIN_SERVE_CLIENTS: usize = 8;
@@ -202,6 +207,51 @@ fn check_serve(gate: &mut Gate, doc: &Json) {
     );
 }
 
+fn check_build(gate: &mut Gate, doc: &Json) {
+    let setups = doc
+        .get("setups")
+        .and_then(Json::as_array)
+        .expect("build JSON has a `setups` array");
+    gate.check(!setups.is_empty(), "build: at least one setup".to_string());
+    for entry in setups {
+        let name = entry.get("name").and_then(Json::as_str).unwrap_or("?");
+        let speedup = entry
+            .get("build_speedup")
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN);
+        let identical = entry
+            .get("assignments_identical")
+            .and_then(Json::as_bool)
+            .unwrap_or(false);
+        gate.check(
+            speedup >= MIN_BUILD_SPEEDUP,
+            format!("build {name}: build speedup {speedup:.2}x >= {MIN_BUILD_SPEEDUP}x"),
+        );
+        gate.check(
+            identical,
+            format!("build {name}: cached-plane assignments identical to reference build"),
+        );
+        let threads = entry
+            .get("threads")
+            .and_then(Json::as_array)
+            .expect("build setup has a `threads` array");
+        gate.check(
+            !threads.is_empty(),
+            format!("build {name}: at least one thread point"),
+        );
+        for point in threads {
+            let n = point.get("threads").and_then(Json::as_f64).unwrap_or(0.0) as usize;
+            gate.check(
+                point
+                    .get("identical")
+                    .and_then(Json::as_bool)
+                    .unwrap_or(false),
+                format!("build {name} @ {n} threads: assignments identical"),
+            );
+        }
+    }
+}
+
 fn main() {
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
     let mut gate = Gate {
@@ -212,6 +262,7 @@ fn main() {
     check_slot_engine(&mut gate, &load(&format!("{root}/BENCH_slot_engine.json")));
     check_parallel(&mut gate, &load(&format!("{root}/BENCH_parallel.json")));
     check_serve(&mut gate, &load(&format!("{root}/BENCH_serve.json")));
+    check_build(&mut gate, &load(&format!("{root}/BENCH_build.json")));
 
     println!();
     if gate.failures.is_empty() {

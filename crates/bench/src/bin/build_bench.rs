@@ -1,0 +1,379 @@
+//! Before/after benchmark of the per-slot problem **build** stage. The
+//! "before" path is the build the simulators and live server ran prior to
+//! the cached data plane: `library.request_for` per user per slot (cell
+//! lookup, FoV trigonometry, a wasted per-request rate table), a
+//! `tile_rate_row` hash per visible tile, and an `is_delivered` ledger
+//! probe per (tile, level). The "after" path is the cached plane:
+//! [`FovRequestCache`] (visible-tile reuse across slots),
+//! [`RatePlane`] (each cell's rate rows hashed once, ever), and
+//! [`UndeliveredSums`] (per-level undelivered rates maintained
+//! incrementally on ACK/Release), staged through the bulk
+//! `add_users` + `parallel_chunk_pairs` fill.
+//!
+//! Both paths replay the *same* recorded pose walks and ACK/Release event
+//! streams, and the solver's assignments are verified identical on every
+//! slot — also across every benchmarked thread count, since the parallel
+//! fill must stage a bit-identical problem. Only the build sections are
+//! timed; event application and solving stay outside the clocks. Results
+//! go to `BENCH_build.json` at the repository root.
+//!
+//! Run: `cargo run -p cvr-bench --release --bin build_bench [--quick]`
+
+use std::time::{Duration, Instant};
+
+use cvr_bench::FigureArgs;
+use cvr_content::cache::{DeliveryLedger, UndeliveredSums};
+use cvr_content::id::VideoId;
+use cvr_content::library::ContentLibrary;
+use cvr_content::plane::{FovRequestCache, RatePlane, DEFAULT_PLANE_CELLS};
+use cvr_core::delay::{DelayModel, Mm1Delay};
+use cvr_core::engine::SlotEngine;
+use cvr_core::objective::QoeParams;
+use cvr_core::quality::QualityLevel;
+use cvr_motion::pose::Pose;
+use cvr_motion::synthetic::{MotionConfig, MotionGenerator};
+use cvr_sim::parallel::parallel_chunk_pairs;
+use cvr_sim::system::sanitize_rates;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Control/pose-stream overhead constant mirrored from the system loop.
+const CONTROL_OVERHEAD_MBPS: f64 = 0.2;
+
+/// A recorded workload both build paths replay: pose walks from the
+/// synthetic motion model plus per-slot ACK/Release event streams that
+/// churn the delivery ledgers the way live clients do.
+struct Workload {
+    name: &'static str,
+    users: usize,
+    levels: usize,
+    server_budget: f64,
+    slots: usize,
+    library: ContentLibrary,
+    params: QoeParams,
+    /// `[slot × users]` predicted poses.
+    poses: Vec<Pose>,
+    /// `[slot × users]` link-budget estimates, Mbps.
+    links: Vec<f64>,
+    /// `[slot × users]` prediction-accuracy estimates δ.
+    deltas: Vec<f64>,
+    /// `[slot × users]` (ACKed ids, Released ids) applied before the
+    /// slot's build.
+    events: Vec<(Vec<VideoId>, Vec<VideoId>)>,
+}
+
+impl Workload {
+    fn generate(
+        name: &'static str,
+        users: usize,
+        levels: usize,
+        server_budget: f64,
+        slots: usize,
+        seed: u64,
+    ) -> Self {
+        let library = ContentLibrary::paper_default();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut motion: Vec<MotionGenerator> = (0..users)
+            .map(|u| {
+                MotionGenerator::new(
+                    MotionConfig::paper_default(),
+                    seed.wrapping_mul(0x9E37_79B9).wrapping_add(u as u64),
+                )
+            })
+            .collect();
+        let mut poses = Vec::with_capacity(slots * users);
+        let mut links = Vec::with_capacity(slots * users);
+        let mut deltas = Vec::with_capacity(slots * users);
+        let mut events = Vec::with_capacity(slots * users);
+        // Per-user pool of previously ACKed ids a later Release can drain.
+        let mut acked: Vec<Vec<VideoId>> = vec![Vec::new(); users];
+        for _ in 0..slots {
+            for (u, g) in motion.iter_mut().enumerate() {
+                let pose = g.step();
+                let request = library.request_for(&pose);
+                // ACK the current request at a random quality most slots
+                // (an earlier slot's manifest arriving), occasionally
+                // release a batch of old deliveries (cache eviction on
+                // the client).
+                let mut acks = Vec::new();
+                if rng.gen_bool(0.6) {
+                    let q = QualityLevel::new(rng.gen_range(1..=levels) as u8);
+                    for &tile in &request.tiles {
+                        let id = VideoId::new(request.cell, tile, q);
+                        acks.push(id);
+                        acked[u].push(id);
+                    }
+                }
+                let mut releases = Vec::new();
+                if rng.gen_bool(0.15) && !acked[u].is_empty() {
+                    let n = rng.gen_range(1..=acked[u].len());
+                    releases.extend(acked[u].drain(..n));
+                }
+                poses.push(pose);
+                links.push(rng.gen_range(20.0..100.0));
+                deltas.push(rng.gen_range(0.5..1.0));
+                events.push((acks, releases));
+            }
+        }
+        Workload {
+            name,
+            users,
+            levels,
+            server_budget,
+            slots,
+            library,
+            params: QoeParams::system_default(),
+            poses,
+            links,
+            deltas,
+            events,
+        }
+    }
+
+    fn at(&self, slot: usize, user: usize) -> usize {
+        slot * self.users + user
+    }
+
+    /// Replays the pre-plane build: fresh `request_for` per user per slot,
+    /// per-tile hashing, per-(tile, level) ledger probes. Returns every
+    /// slot's assignments and the total time spent inside build sections.
+    fn run_before(&self) -> (Vec<Vec<QualityLevel>>, Duration) {
+        let mut engine = SlotEngine::new();
+        let mut ledgers: Vec<DeliveryLedger> =
+            (0..self.users).map(|_| DeliveryLedger::new()).collect();
+        let mut tile_row = vec![0.0f64; self.levels];
+        let mut assignments = Vec::with_capacity(self.slots);
+        let mut build_time = Duration::ZERO;
+        for slot in 0..self.slots {
+            for (u, ledger) in ledgers.iter_mut().enumerate() {
+                let (acks, releases) = &self.events[self.at(slot, u)];
+                for &id in acks {
+                    ledger.acknowledge(id);
+                }
+                ledger.release(releases.iter().copied());
+            }
+
+            let t = Instant::now();
+            engine.begin_slot(self.server_budget);
+            for (u, ledger) in ledgers.iter().enumerate() {
+                let i = self.at(slot, u);
+                let request = self.library.request_for(&self.poses[i]);
+                let bn = self.links[i];
+                let delta = self.deltas[i];
+                let fallback = Mm1Delay::new(bn).expect("positive link budget");
+                let tables = engine.add_user(self.levels, bn);
+                for &tile in &request.tiles {
+                    self.library
+                        .sizing()
+                        .tile_rate_row(request.cell, tile, &mut tile_row);
+                    for l in 1..=self.levels {
+                        let q = QualityLevel::new(l as u8);
+                        if !ledger.is_delivered(&VideoId::new(request.cell, tile, q)) {
+                            tables.rates[q.index()] += tile_row[q.index()];
+                        }
+                    }
+                }
+                for l in 1..=self.levels {
+                    let q = QualityLevel::new(l as u8);
+                    tables.rates[q.index()] += CONTROL_OVERHEAD_MBPS;
+                    let raw = tables.rates[q.index()];
+                    tables.values[q.index()] =
+                        delta * q.value() - self.params.alpha * fallback.delay(raw);
+                }
+                sanitize_rates(tables.rates);
+            }
+            build_time += t.elapsed();
+
+            assignments.push(engine.solve().to_vec());
+        }
+        (assignments, build_time)
+    }
+
+    /// Replays the cached-plane build at a given worker count. Returns the
+    /// assignments, total build time, and the plane / FoV-cache hit
+    /// statistics summed over all users.
+    #[allow(clippy::type_complexity)]
+    fn run_after(
+        &self,
+        threads: usize,
+    ) -> (Vec<Vec<QualityLevel>>, Duration, (u64, u64), (u64, u64)) {
+        let mut engine = SlotEngine::new();
+        let mut ledgers: Vec<DeliveryLedger> =
+            (0..self.users).map(|_| DeliveryLedger::new()).collect();
+        let mut plane = RatePlane::new(self.library.sizing().clone(), DEFAULT_PLANE_CELLS);
+        let mut fov_caches: Vec<FovRequestCache> = (0..self.users)
+            .map(|_| FovRequestCache::new(*self.library.fov()))
+            .collect();
+        let mut undelivered: Vec<UndeliveredSums> = (0..self.users)
+            .map(|_| UndeliveredSums::new(self.levels))
+            .collect();
+        let mut assignments = Vec::with_capacity(self.slots);
+        let mut build_time = Duration::ZERO;
+        for slot in 0..self.slots {
+            for (u, ledger) in ledgers.iter_mut().enumerate() {
+                let (acks, releases) = &self.events[self.at(slot, u)];
+                for &id in acks {
+                    undelivered[u].acknowledge(ledger, id);
+                }
+                undelivered[u].release(ledger, releases.iter().copied());
+            }
+
+            let t = Instant::now();
+            for u in 0..self.users {
+                let i = self.at(slot, u);
+                let cell = self.library.grid().cell_of(&self.poses[i].position);
+                let tiles = fov_caches[u].tiles_for(&self.poses[i]);
+                if !undelivered[u].targets(cell, tiles) {
+                    undelivered[u].retarget(cell, tiles, plane.rows(cell), &ledgers[u]);
+                }
+            }
+            engine.begin_slot(self.server_budget);
+            let slot_links = &self.links[slot * self.users..(slot + 1) * self.users];
+            engine.add_users(self.levels, slot_links);
+            {
+                let (rates_table, values_table) = engine.staged_tables_mut();
+                let levels = self.levels;
+                let alpha = self.params.alpha;
+                let deltas = &self.deltas[slot * self.users..(slot + 1) * self.users];
+                let undelivered = &undelivered;
+                parallel_chunk_pairs(
+                    rates_table,
+                    values_table,
+                    levels,
+                    threads,
+                    |u, rates, values| {
+                        let fallback = Mm1Delay::new(slot_links[u]).expect("positive link budget");
+                        let sums = undelivered[u].sums();
+                        for l in 1..=levels {
+                            let q = QualityLevel::new(l as u8);
+                            rates[q.index()] = sums[q.index()] + CONTROL_OVERHEAD_MBPS;
+                            let raw = rates[q.index()];
+                            values[q.index()] = deltas[u] * q.value() - alpha * fallback.delay(raw);
+                        }
+                        sanitize_rates(rates);
+                    },
+                );
+            }
+            build_time += t.elapsed();
+
+            assignments.push(engine.solve().to_vec());
+        }
+        let plane_stats = plane.stats();
+        let mut fov_stats = (0u64, 0u64);
+        for c in &fov_caches {
+            let (h, m) = c.stats();
+            fov_stats.0 += h;
+            fov_stats.1 += m;
+        }
+        (assignments, build_time, plane_stats, fov_stats)
+    }
+}
+
+fn main() {
+    let args = FigureArgs::parse();
+    let slots = ((6_000.0 * args.scale) as usize).max(200);
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let workloads = [
+        Workload::generate("setup1", 8, 6, 400.0, slots, args.seed),
+        Workload::generate("setup2", 15, 6, 800.0, slots, args.seed ^ 0xBEEF),
+    ];
+
+    println!(
+        "# Build-stage benchmark ({slots} slots per setup, host parallelism {host_parallelism})\n"
+    );
+    let mut setup_entries = Vec::new();
+    for w in &workloads {
+        // Warm-up replays (untimed results discarded), then the timed
+        // replays whose numbers are reported.
+        let _ = w.run_before();
+        let _ = w.run_after(1);
+        let (before_assignments, before_time) = w.run_before();
+        let (after_assignments, after_time, plane_stats, fov_stats) = w.run_after(1);
+        let identical = before_assignments == after_assignments;
+        assert!(
+            identical,
+            "{}: cached build diverged from the reference build",
+            w.name
+        );
+        let speedup = before_time.as_secs_f64() / after_time.as_secs_f64();
+        println!(
+            "{}: {} users — before {:>8.1} µs/slot, after {:>8.1} µs/slot, build speedup {:.2}x, identical assignments: {}",
+            w.name,
+            w.users,
+            before_time.as_secs_f64() * 1e6 / w.slots as f64,
+            after_time.as_secs_f64() * 1e6 / w.slots as f64,
+            speedup,
+            identical
+        );
+        println!(
+            "  plane: {} hits / {} misses; fov cache: {} hits / {} misses",
+            plane_stats.0, plane_stats.1, fov_stats.0, fov_stats.1
+        );
+
+        // Thread sweep: identity is checked at every point regardless of
+        // the host's core count; timings are only meaningful with real
+        // parallelism underneath.
+        let mut thread_entries = Vec::new();
+        for threads in [1usize, 2, 4] {
+            let (t_assignments, t_time, _, _) = w.run_after(threads);
+            let t_identical = t_assignments == before_assignments;
+            assert!(
+                t_identical,
+                "{}: {threads}-thread build diverged from the reference build",
+                w.name
+            );
+            println!(
+                "  {} threads: {:>8.1} µs/slot, identical: {}",
+                threads,
+                t_time.as_secs_f64() * 1e6 / w.slots as f64,
+                t_identical
+            );
+            thread_entries.push(format!(
+                "        {{\"threads\": {}, \"build_s\": {:.4}, \"build_us_per_slot\": {:.2}, \"identical\": {}}}",
+                threads,
+                t_time.as_secs_f64(),
+                t_time.as_secs_f64() * 1e6 / w.slots as f64,
+                t_identical
+            ));
+        }
+
+        setup_entries.push(format!(
+            "    {{\"name\": \"{}\", \"users\": {}, \"levels\": {}, \"server_budget_mbps\": {:.0}, \"slots\": {}, \"assignments_identical\": {}, \"before\": {{\"build_s\": {:.4}, \"build_us_per_slot\": {:.2}}}, \"after\": {{\"build_s\": {:.4}, \"build_us_per_slot\": {:.2}, \"plane\": {{\"hits\": {}, \"misses\": {}}}, \"fov_cache\": {{\"hits\": {}, \"misses\": {}}}}}, \"build_speedup\": {:.3}, \"threads\": [\n{}\n      ]}}",
+            w.name,
+            w.users,
+            w.levels,
+            w.server_budget,
+            w.slots,
+            identical,
+            before_time.as_secs_f64(),
+            before_time.as_secs_f64() * 1e6 / w.slots as f64,
+            after_time.as_secs_f64(),
+            after_time.as_secs_f64() * 1e6 / w.slots as f64,
+            plane_stats.0,
+            plane_stats.1,
+            fov_stats.0,
+            fov_stats.1,
+            speedup,
+            thread_entries.join(",\n")
+        ));
+    }
+
+    let note = if host_parallelism == 1 {
+        "\"thread sweep timings not meaningful: single-core host (identity still checked)\""
+    } else {
+        ""
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"build\",\n  \"slots_per_setup\": {},\n  \"host_parallelism\": {},\n  \"notes\": [{}],\n  \"setups\": [\n{}\n  ]\n}}\n",
+        slots,
+        host_parallelism,
+        note,
+        setup_entries.join(",\n")
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_build.json");
+    std::fs::write(out, &json).expect("write benchmark JSON");
+    println!("\nwrote {out}");
+}

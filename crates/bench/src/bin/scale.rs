@@ -51,6 +51,10 @@ fn main() {
     let sessions = args.runs_or(16).max(2);
     let duration = args.duration_or(6.0);
     let available = parallel::available_threads();
+    // On a single-core host a multi-thread wall-clock comparison measures
+    // scheduler overhead, not parallel scaling: keep the determinism
+    // sweep but make no speedup/efficiency claims.
+    let single_core = available < 2;
 
     let mut thread_counts = vec![1usize, 2, 4, available];
     thread_counts.sort_unstable();
@@ -106,13 +110,18 @@ fn main() {
                 efficiency: speedup / threads as f64,
                 identical,
             };
+            let (speedup_cell, efficiency_cell) = if single_core {
+                ("-".to_string(), "-".to_string())
+            } else {
+                (f3(entry.speedup), f3(entry.efficiency))
+            };
             print_row(&[
                 setup.to_string(),
                 threads.to_string(),
                 f3(entry.wall_s),
                 f3(entry.sessions_per_sec),
-                f3(entry.speedup),
-                f3(entry.efficiency),
+                speedup_cell,
+                efficiency_cell,
                 entry.identical.to_string(),
             ]);
             entries.push(entry);
@@ -125,33 +134,46 @@ fn main() {
         "parallel execution diverged from the 1-thread baseline"
     );
     println!("all thread counts bit-identical to the 1-thread baseline: true");
+    if single_core {
+        println!(
+            "skipped thread-sweep speedup/efficiency claims: available \
+             parallelism is {available} (determinism still checked)"
+        );
+    }
 
     let rows: Vec<String> = entries
         .iter()
         .map(|e| {
+            let claims = if single_core {
+                "\"speedup\": null, \"efficiency\": null".to_string()
+            } else {
+                format!(
+                    "\"speedup\": {:.3}, \"efficiency\": {:.3}",
+                    e.speedup, e.efficiency
+                )
+            };
             format!(
                 "    {{\"setup\": \"{}\", \"sessions\": {}, \"threads\": {}, \
-                 \"wall_s\": {:.4}, \"sessions_per_sec\": {:.3}, \"speedup\": {:.3}, \
-                 \"efficiency\": {:.3}, \"identical\": {}}}",
-                e.setup,
-                e.sessions,
-                e.threads,
-                e.wall_s,
-                e.sessions_per_sec,
-                e.speedup,
-                e.efficiency,
-                e.identical
+                 \"wall_s\": {:.4}, \"sessions_per_sec\": {:.3}, {}, \
+                 \"identical\": {}}}",
+                e.setup, e.sessions, e.threads, e.wall_s, e.sessions_per_sec, claims, e.identical
             )
         })
         .collect();
+    let notes = if single_core {
+        "\"skipped_thread_sweep\""
+    } else {
+        ""
+    };
     let json = format!(
         "{{\n  \"bench\": \"parallel_scale\",\n  \"available_parallelism\": {},\n  \
          \"sessions\": {},\n  \"duration_s\": {:.1},\n  \"deterministic\": {},\n  \
-         \"entries\": [\n{}\n  ]\n}}\n",
+         \"notes\": [{}],\n  \"entries\": [\n{}\n  ]\n}}\n",
         available,
         sessions,
         duration,
         deterministic,
+        notes,
         rows.join(",\n")
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");

@@ -16,7 +16,11 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
+use cvr_core::quality::QualityLevel;
+
+use crate::grid::CellId;
 use crate::id::VideoId;
+use crate::tile::TileId;
 
 /// Outcome of a server cache lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -202,17 +206,27 @@ impl DeliveryLedger {
         self.delivered.contains(id)
     }
 
-    /// Records a delivery ACK.
-    pub fn acknowledge(&mut self, id: VideoId) {
-        self.delivered.insert(id);
+    /// Records a delivery ACK. Returns `true` when the tile was *newly*
+    /// recorded (i.e. the ledger actually changed) — callers maintaining
+    /// derived state ([`UndeliveredSums`]) update it exactly when this
+    /// returns `true`.
+    pub fn acknowledge(&mut self, id: VideoId) -> bool {
+        self.delivered.insert(id)
     }
 
     /// Records a release ACK: the client dropped these tiles, so they must
     /// be retransmitted if requested again.
     pub fn release<I: IntoIterator<Item = VideoId>>(&mut self, ids: I) {
         for id in ids {
-            self.delivered.remove(&id);
+            self.release_one(id);
         }
+    }
+
+    /// Records the release of one tile. Returns `true` when the tile was
+    /// actually held (the ledger changed) — the mirror of
+    /// [`DeliveryLedger::acknowledge`] for derived-state maintenance.
+    pub fn release_one(&mut self, id: VideoId) -> bool {
+        self.delivered.remove(&id)
     }
 
     /// Number of tiles believed held.
@@ -229,6 +243,21 @@ impl DeliveryLedger {
     pub fn partition_wanted(&self, wanted: &[VideoId]) -> (Vec<VideoId>, Vec<VideoId>) {
         let mut send = Vec::new();
         let mut held = Vec::new();
+        self.partition_wanted_into(wanted, &mut send, &mut held);
+        (send, held)
+    }
+
+    /// Buffer-reusing variant of [`DeliveryLedger::partition_wanted`]:
+    /// clears both output buffers and fills them with the same split, in
+    /// the same order, without allocating once the buffers have grown.
+    pub fn partition_wanted_into(
+        &self,
+        wanted: &[VideoId],
+        send: &mut Vec<VideoId>,
+        held: &mut Vec<VideoId>,
+    ) {
+        send.clear();
+        held.clear();
         for &id in wanted {
             if self.is_delivered(&id) {
                 held.push(id);
@@ -236,7 +265,208 @@ impl DeliveryLedger {
                 send.push(id);
             }
         }
-        (send, held)
+    }
+}
+
+/// Per-user, per-level undelivered-rate accumulators, maintained
+/// incrementally on ACK/release/cell-change events so the per-slot problem
+/// build reads `levels` floats instead of probing ~tiles × levels ledger
+/// entries.
+///
+/// The accumulator targets one `(cell, tile set)` at a time — the user's
+/// current FoV request. [`UndeliveredSums::retarget`] (called on cell or
+/// tile-set changes) rebuilds the delivered mask and the per-level sums
+/// from the ledger; [`UndeliveredSums::acknowledge`] and
+/// [`UndeliveredSums::release`] are *paired* calls that mutate the ledger
+/// and fold the change into the sums in one step, so the two can never
+/// drift apart.
+///
+/// Bit-identity: a level's sum is always recomputed from scratch in tile
+/// order (O(tiles) = O(4) per event, no hash probes), reproducing the
+/// exact `((0 + r₀) + r₁) + …` addition sequence of the brute-force build
+/// loop — incremental `+=`/`-=` would accumulate different rounding.
+#[derive(Debug, Clone)]
+pub struct UndeliveredSums {
+    levels: usize,
+    cell: Option<CellId>,
+    tiles: Vec<TileId>,
+    /// Rate rows of the target tiles, tile-major: `tiles.len() × levels`.
+    rows: Vec<f64>,
+    /// Delivered mask, tile-major: `tiles.len() × levels`.
+    delivered: Vec<bool>,
+    /// Per-level undelivered-rate sums (length `levels`).
+    sums: Vec<f64>,
+}
+
+impl UndeliveredSums {
+    /// Creates an accumulator for a ladder with `levels` quality levels,
+    /// targeting nothing yet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is zero.
+    pub fn new(levels: usize) -> Self {
+        assert!(levels > 0, "quality ladder must have at least one level");
+        UndeliveredSums {
+            levels,
+            cell: None,
+            tiles: Vec::with_capacity(usize::from(TileId::COUNT)),
+            rows: Vec::with_capacity(usize::from(TileId::COUNT) * levels),
+            delivered: Vec::with_capacity(usize::from(TileId::COUNT) * levels),
+            sums: vec![0.0; levels],
+        }
+    }
+
+    /// Number of quality levels per sum.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// The currently targeted cell, if any.
+    pub fn cell(&self) -> Option<CellId> {
+        self.cell
+    }
+
+    /// The currently targeted tile set (FoV request order).
+    pub fn tiles(&self) -> &[TileId] {
+        &self.tiles
+    }
+
+    /// Retargets the accumulator at a new `(cell, tiles)` request, reading
+    /// rate rows from `cell_rows` (the cell's full `TileId::COUNT × levels`
+    /// tile-major table, e.g. [`crate::plane::RatePlane::rows`]) and the
+    /// delivered mask from `ledger`. Rebuilds masks and sums from scratch —
+    /// called only on cell/tile-set changes, not per slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_rows` is not exactly `TileId::COUNT × levels` long.
+    pub fn retarget(
+        &mut self,
+        cell: CellId,
+        tiles: &[TileId],
+        cell_rows: &[f64],
+        ledger: &DeliveryLedger,
+    ) {
+        assert_eq!(
+            cell_rows.len(),
+            usize::from(TileId::COUNT) * self.levels,
+            "cell_rows must cover every tile at every level"
+        );
+        self.cell = Some(cell);
+        self.tiles.clear();
+        self.tiles.extend_from_slice(tiles);
+        self.rows.clear();
+        self.delivered.clear();
+        for &tile in tiles {
+            let start = usize::from(tile.get()) * self.levels;
+            self.rows
+                .extend_from_slice(&cell_rows[start..start + self.levels]);
+            for l in 0..self.levels {
+                let q = QualityLevel::new((l + 1) as u8);
+                self.delivered
+                    .push(ledger.is_delivered(&VideoId::new(cell, tile, q)));
+            }
+        }
+        for l in 0..self.levels {
+            self.recompute_level(l);
+        }
+    }
+
+    /// Whether the accumulator already targets exactly `(cell, tiles)` —
+    /// when `true`, a retarget would be a no-op and can be skipped.
+    pub fn targets(&self, cell: CellId, tiles: &[TileId]) -> bool {
+        self.cell == Some(cell) && self.tiles == tiles
+    }
+
+    /// Paired ACK: records the delivery in `ledger` and, when the ledger
+    /// actually changed and the tile belongs to the current target, folds
+    /// it into the sums.
+    pub fn acknowledge(&mut self, ledger: &mut DeliveryLedger, id: VideoId) {
+        if ledger.acknowledge(id) {
+            self.apply(id, true);
+        }
+    }
+
+    /// Paired release: removes the tiles from `ledger` and folds each
+    /// actual removal into the sums.
+    pub fn release<I: IntoIterator<Item = VideoId>>(
+        &mut self,
+        ledger: &mut DeliveryLedger,
+        ids: I,
+    ) {
+        for id in ids {
+            if ledger.release_one(id) {
+                self.apply(id, false);
+            }
+        }
+    }
+
+    /// The per-level undelivered-rate sums for the current target: entry
+    /// `l` is the total rate of the target tiles not yet delivered at
+    /// level `l + 1`, summed in tile order.
+    pub fn sums(&self) -> &[f64] {
+        &self.sums
+    }
+
+    /// Cross-checks the incremental sums against a brute-force recompute
+    /// from `ledger` (the debug assertion the build path runs under
+    /// `debug_assertions`). Bit-exact comparison.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the incremental state has drifted from the ledger.
+    pub fn assert_matches_ledger(&self, ledger: &DeliveryLedger) {
+        let Some(cell) = self.cell else {
+            return;
+        };
+        for l in 0..self.levels {
+            let q = QualityLevel::new((l + 1) as u8);
+            let mut brute = 0.0f64;
+            for (t, &tile) in self.tiles.iter().enumerate() {
+                if !ledger.is_delivered(&VideoId::new(cell, tile, q)) {
+                    brute += self.rows[t * self.levels + l];
+                }
+            }
+            assert!(
+                brute.to_bits() == self.sums[l].to_bits(),
+                "undelivered sum drifted at level {}: incremental {} vs brute-force {}",
+                l + 1,
+                self.sums[l],
+                brute
+            );
+        }
+    }
+
+    fn apply(&mut self, id: VideoId, delivered: bool) {
+        if self.cell != Some(id.cell()) {
+            return;
+        }
+        let Some(t) = self.tiles.iter().position(|&tile| tile == id.tile()) else {
+            return;
+        };
+        let l = id.quality().index();
+        if l >= self.levels {
+            return;
+        }
+        let slot = &mut self.delivered[t * self.levels + l];
+        if *slot == delivered {
+            return;
+        }
+        *slot = delivered;
+        self.recompute_level(l);
+    }
+
+    /// Recomputes one level's sum from scratch in tile order — the same
+    /// fold the brute-force build performs, so the result is bit-identical.
+    fn recompute_level(&mut self, l: usize) {
+        let mut sum = 0.0f64;
+        for t in 0..self.tiles.len() {
+            if !self.delivered[t * self.levels + l] {
+                sum += self.rows[t * self.levels + l];
+            }
+        }
+        self.sums[l] = sum;
     }
 }
 
@@ -357,6 +587,125 @@ mod tests {
         assert!(ledger.is_delivered(&id(2, 0, 1)));
         assert!(ledger.is_delivered(&id(3, 0, 1)));
         assert!(!ledger.is_delivered(&id(0, 0, 1)));
+    }
+
+    fn paper_rows(cell: CellId) -> (crate::sizing::TileSizeModel, Vec<f64>) {
+        let sizing = crate::sizing::TileSizeModel::paper_default();
+        let levels = sizing.levels();
+        let mut rows = vec![0.0f64; usize::from(TileId::COUNT) * levels];
+        for tile in TileId::all() {
+            let start = usize::from(tile.get()) * levels;
+            sizing.tile_rate_row(cell, tile, &mut rows[start..start + levels]);
+        }
+        (sizing, rows)
+    }
+
+    #[test]
+    fn partition_wanted_into_matches_allocating_variant() {
+        let mut ledger = DeliveryLedger::new();
+        ledger.acknowledge(id(0, 0, 3));
+        ledger.acknowledge(id(1, 1, 2));
+        let wanted = vec![id(0, 0, 3), id(2, 2, 3), id(1, 1, 2), id(1, 1, 3)];
+        let (send, held) = ledger.partition_wanted(&wanted);
+        let (mut send2, mut held2) = (vec![id(9, 0, 1)], vec![id(9, 0, 1)]);
+        ledger.partition_wanted_into(&wanted, &mut send2, &mut held2);
+        assert_eq!(send, send2);
+        assert_eq!(held, held2);
+    }
+
+    #[test]
+    fn acknowledge_and_release_report_ledger_changes() {
+        let mut ledger = DeliveryLedger::new();
+        assert!(ledger.acknowledge(id(0, 0, 1)));
+        assert!(!ledger.acknowledge(id(0, 0, 1)), "duplicate ACK");
+        assert!(ledger.release_one(id(0, 0, 1)));
+        assert!(!ledger.release_one(id(0, 0, 1)), "double release");
+    }
+
+    #[test]
+    fn undelivered_sums_track_ack_release_retarget() {
+        let cell = CellId { x: 2, z: -3 };
+        let (sizing, rows) = paper_rows(cell);
+        let levels = sizing.levels();
+        let tiles = [TileId::new(1), TileId::new(3)];
+        let mut ledger = DeliveryLedger::new();
+        let mut sums = UndeliveredSums::new(levels);
+        sums.retarget(cell, &tiles, &rows, &ledger);
+        assert!(sums.targets(cell, &tiles));
+        sums.assert_matches_ledger(&ledger);
+
+        // Fresh target: every level sums both tiles.
+        for l in 0..levels {
+            let q = QualityLevel::new((l + 1) as u8);
+            let mut expect = 0.0;
+            for &t in &tiles {
+                expect += sizing.tile_rate_mbps(cell, t, q);
+            }
+            assert_eq!(sums.sums()[l].to_bits(), expect.to_bits());
+        }
+
+        // ACK one (tile, level): only that level's sum drops.
+        sums.acknowledge(&mut ledger, id2(cell, 1, 3));
+        sums.assert_matches_ledger(&ledger);
+        let q3 = QualityLevel::new(3);
+        assert_eq!(
+            sums.sums()[q3.index()].to_bits(),
+            sizing.tile_rate_mbps(cell, TileId::new(3), q3).to_bits()
+        );
+        // Duplicate ACK changes nothing.
+        let snapshot: Vec<u64> = sums.sums().iter().map(|s| s.to_bits()).collect();
+        sums.acknowledge(&mut ledger, id2(cell, 1, 3));
+        assert_eq!(
+            snapshot,
+            sums.sums().iter().map(|s| s.to_bits()).collect::<Vec<_>>()
+        );
+
+        // Release restores the full sum, bit-for-bit.
+        sums.release(&mut ledger, [id2(cell, 1, 3)]);
+        sums.assert_matches_ledger(&ledger);
+        let mut expect = 0.0;
+        for &t in &tiles {
+            expect += sizing.tile_rate_mbps(cell, t, q3);
+        }
+        assert_eq!(sums.sums()[q3.index()].to_bits(), expect.to_bits());
+
+        // ACKs for other cells / untargeted tiles still land in the ledger
+        // but leave the sums alone.
+        sums.acknowledge(&mut ledger, id(99, 0, 1));
+        sums.acknowledge(&mut ledger, id2(cell, 0, 2));
+        assert!(ledger.is_delivered(&id(99, 0, 1)));
+        sums.assert_matches_ledger(&ledger);
+
+        // Retarget to a tile set including tile 0: the earlier tile-0 ACK
+        // must now be reflected.
+        let wider = [TileId::new(0), TileId::new(1), TileId::new(3)];
+        sums.retarget(cell, &wider, &rows, &ledger);
+        sums.assert_matches_ledger(&ledger);
+        let q2 = QualityLevel::new(2);
+        let mut expect = 0.0;
+        for &t in &wider {
+            if !ledger.is_delivered(&VideoId::new(cell, t, q2)) {
+                expect += sizing.tile_rate_mbps(cell, t, q2);
+            }
+        }
+        assert_eq!(sums.sums()[q2.index()].to_bits(), expect.to_bits());
+    }
+
+    fn id2(cell: CellId, t: u8, q: u8) -> VideoId {
+        VideoId::new(cell, TileId::new(t), QualityLevel::new(q))
+    }
+
+    #[test]
+    #[should_panic(expected = "drifted")]
+    fn undelivered_sums_cross_check_catches_unpaired_ledger_edits() {
+        let cell = CellId { x: 0, z: 0 };
+        let (_, rows) = paper_rows(cell);
+        let mut ledger = DeliveryLedger::new();
+        let mut sums = UndeliveredSums::new(6);
+        sums.retarget(cell, &TileId::all(), &rows, &ledger);
+        // Mutating the ledger *without* the paired call drifts the sums.
+        ledger.acknowledge(id2(cell, 0, 1));
+        sums.assert_matches_ledger(&ledger);
     }
 
     #[test]

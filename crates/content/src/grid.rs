@@ -84,18 +84,27 @@ impl GridWorld {
     /// reachable set the server caches ahead of the user (the future
     /// location is bounded by walking speed).
     pub fn cells_within(&self, center: &Vec3, radius_m: f64) -> Vec<CellId> {
+        let mut cells = Vec::new();
+        self.cells_within_into(center, radius_m, &mut cells);
+        cells
+    }
+
+    /// Buffer-reusing variant of [`GridWorld::cells_within`]: clears `out`
+    /// and fills it with the same cells, in the same order, without
+    /// allocating once the buffer has grown to the square's size.
+    pub fn cells_within_into(&self, center: &Vec3, radius_m: f64, out: &mut Vec<CellId>) {
+        out.clear();
         let c = self.cell_of(center);
         let r = (radius_m / self.cell_size_m).ceil() as i32;
-        let mut cells = Vec::with_capacity(((2 * r + 1) * (2 * r + 1)) as usize);
+        out.reserve(((2 * r + 1) * (2 * r + 1)) as usize);
         for dx in -r..=r {
             for dz in -r..=r {
-                cells.push(CellId {
+                out.push(CellId {
                     x: c.x + dx,
                     z: c.z + dz,
                 });
             }
         }
-        cells
     }
 }
 

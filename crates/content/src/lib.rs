@@ -26,13 +26,15 @@ pub mod cache;
 pub mod grid;
 pub mod id;
 pub mod library;
+pub mod plane;
 pub mod projection;
 pub mod sizing;
 pub mod tile;
 
-pub use cache::{CacheOutcome, ClientTileBuffer, DeliveryLedger, ServerTileCache};
+pub use cache::{CacheOutcome, ClientTileBuffer, DeliveryLedger, ServerTileCache, UndeliveredSums};
 pub use grid::{CellId, GridWorld};
 pub use id::VideoId;
 pub use library::{ContentLibrary, ContentRequest};
+pub use plane::{FovRequestCache, RatePlane};
 pub use sizing::TileSizeModel;
-pub use tile::{tiles_for_pose, TileId};
+pub use tile::{tiles_for_pose, tiles_for_pose_into, TileId};

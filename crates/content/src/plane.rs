@@ -1,0 +1,474 @@
+//! The build-stage data plane: caches for the static content facts the
+//! per-slot problem build used to re-derive from scratch every slot.
+//!
+//! Tile sizes are a deterministic function of `(cell, tile, quality)` and
+//! FoV tile sets are piecewise-constant in the pose, so the hot path can
+//! materialise both once and reuse them:
+//!
+//! * [`RatePlane`] — per-cell rate rows. The first touch of a cell runs
+//!   [`TileSizeModel::tile_rate_row`] for all four tiles (one complexity
+//!   hash per `(cell, tile)` *ever* while the cell stays resident) behind
+//!   a small LRU of recently-visited cells. Rows are bit-identical to
+//!   fresh `tile_rate_row` calls, so builds reading the plane stay
+//!   bit-identical to builds hashing per slot.
+//! * [`FovRequestCache`] — reuses the previous slot's visible-tile set
+//!   while the predicted pose stays inside the same quantised-orientation
+//!   bucket, invalidating on bucket crossings. Tile membership is
+//!   position-independent (the panorama sphere is per-cell but the tile
+//!   cut depends only on where the user looks), so position changes never
+//!   invalidate. The quantisation is only enabled for FoV specs whose
+//!   tile-membership breakpoints provably align with the bucket quantum
+//!   (the paper default does); for any other spec the cache disables
+//!   itself and recomputes every slot, so a hit can never change the
+//!   tile set.
+
+use std::collections::HashMap;
+
+use cvr_motion::fov::FovSpec;
+use cvr_motion::pose::Pose;
+
+use crate::grid::CellId;
+use crate::sizing::TileSizeModel;
+use crate::tile::{tiles_for_pose_into, TileId};
+
+/// Default number of resident cells — a few seconds of walking for a full
+/// classroom at the paper's 5 cm grid, ~50 KiB of rows.
+pub const DEFAULT_PLANE_CELLS: usize = 512;
+
+/// Materialised rate rows of one resident cell: `TileId::COUNT × levels`
+/// entries, tile-major, each row written by one `tile_rate_row` call.
+#[derive(Debug, Clone)]
+struct PlaneCell {
+    rows: Box<[f64]>,
+    last_touch: u64,
+}
+
+/// An LRU-bounded cache of per-cell rate rows.
+///
+/// `rows(cell)` returns the full `TileId::COUNT × levels` table for a
+/// cell, materialising it on first touch. Once `capacity` cells are
+/// resident a miss evicts the least-recently-touched *half* in one batch,
+/// so eviction costs are amortised over many misses instead of a full
+/// scan per miss.
+#[derive(Debug, Clone)]
+pub struct RatePlane {
+    sizing: TileSizeModel,
+    levels: usize,
+    capacity: usize,
+    clock: u64,
+    cells: HashMap<CellId, PlaneCell>,
+    hits: u64,
+    misses: u64,
+}
+
+impl RatePlane {
+    /// Creates a plane over `sizing` holding at most `capacity` cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(sizing: TileSizeModel, capacity: usize) -> Self {
+        assert!(capacity > 0, "plane capacity must be positive");
+        let levels = sizing.levels();
+        RatePlane {
+            sizing,
+            levels,
+            capacity,
+            clock: 0,
+            cells: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// A plane over the paper-default size model with the default
+    /// capacity.
+    pub fn paper_default() -> Self {
+        RatePlane::new(TileSizeModel::paper_default(), DEFAULT_PLANE_CELLS)
+    }
+
+    /// Number of quality levels per row.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Number of resident cells.
+    pub fn resident_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `(hits, misses)` counters; a miss materialises one cell.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// The rate rows of `cell`, tile-major: entry `t * levels + l` is the
+    /// rate of tile `t` at level `l + 1`, bit-identical to
+    /// [`TileSizeModel::tile_rate_row`] into an exactly-`levels` slice.
+    pub fn rows(&mut self, cell: CellId) -> &[f64] {
+        self.clock += 1;
+        let clock = self.clock;
+        if !self.cells.contains_key(&cell) {
+            self.misses += 1;
+            if self.cells.len() >= self.capacity {
+                self.evict_stale_half();
+            }
+            let mut rows =
+                vec![0.0f64; usize::from(TileId::COUNT) * self.levels].into_boxed_slice();
+            for tile in TileId::all() {
+                let start = usize::from(tile.get()) * self.levels;
+                let row = &mut rows[start..start + self.levels];
+                // The engine-path contract of `tile_rate_row`: exactly
+                // `levels` entries, no untouched tail.
+                debug_assert_eq!(row.len(), self.levels);
+                self.sizing.tile_rate_row(cell, tile, row);
+            }
+            self.cells.insert(
+                cell,
+                PlaneCell {
+                    rows,
+                    last_touch: clock,
+                },
+            );
+        } else {
+            self.hits += 1;
+        }
+        let entry = self.cells.get_mut(&cell).expect("just ensured");
+        entry.last_touch = clock;
+        &entry.rows
+    }
+
+    /// The rate row of one tile of `cell` (length `levels`).
+    pub fn row(&mut self, cell: CellId, tile: TileId) -> &[f64] {
+        let levels = self.levels;
+        let start = usize::from(tile.get()) * levels;
+        &self.rows(cell)[start..start + levels]
+    }
+
+    /// Evicts the least-recently-touched half of the resident cells (at
+    /// least one cell). One `O(n log n)` pass buys room for `n / 2`
+    /// further misses, so the amortised per-miss cost stays logarithmic.
+    fn evict_stale_half(&mut self) {
+        let mut touches: Vec<u64> = self.cells.values().map(|e| e.last_touch).collect();
+        touches.sort_unstable();
+        let cutoff = touches[(touches.len() - 1) / 2];
+        self.cells.retain(|_, e| e.last_touch > cutoff);
+    }
+}
+
+/// Encoded orientation-bucket key of one pose. `None` means the pose sits
+/// too close to a tile-membership breakpoint to be bucketed safely.
+type OrientationKey = (i64, i64);
+
+/// Reuses the previous slot's FoV tile set while the predicted pose stays
+/// inside the same quantised-orientation bucket.
+///
+/// Tile membership ([`tiles_for_pose`](crate::tile::tiles_for_pose)) is a
+/// function of orientation alone — position picks the cell whose panorama
+/// is served, not which tiles of it are visible — and is
+/// piecewise-constant in orientation: it changes only where a sampled yaw
+/// angle crosses a tile boundary or the pitch span crosses a pitch
+/// boundary. For the paper-default FoV (90° + 15° margin → 60° half
+/// extents) every such breakpoint is an exact multiple of the sampling
+/// step `half_w / 8 = 7.5°`, so bucketing orientations by that quantum is
+/// exact: all poses in one bucket's interior share one tile set. Poses
+/// within a guard band of a bucket boundary — and every pose when the
+/// spec's breakpoints do not align with the quantum — bypass the cache
+/// and recompute, so a hit can never return a wrong tile set.
+#[derive(Debug, Clone)]
+pub struct FovRequestCache {
+    spec: FovSpec,
+    /// Bucket quantum in degrees; `None` disables caching entirely.
+    quantum: Option<f64>,
+    key: Option<OrientationKey>,
+    tiles: Vec<TileId>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Guard band around bucket boundaries, as a fraction of the quantum:
+/// poses this close to a breakpoint recompute instead of trusting the
+/// bucket (floating-point rounding can shift the effective breakpoint by
+/// a few ulps).
+const BOUNDARY_GUARD: f64 = 1e-6;
+
+/// Pitch key for poses clamped at the poles: every such pose feeds the
+/// identical clamped pitch into the membership test, so they can share a
+/// bucket even though ±90° is a breakpoint.
+const POLE_KEY: i64 = 1 << 40;
+
+impl FovRequestCache {
+    /// Creates a cache for `spec`, enabling bucket reuse only when the
+    /// quantum is provably exact for that spec.
+    pub fn new(spec: FovSpec) -> Self {
+        FovRequestCache {
+            spec,
+            quantum: Self::exact_quantum(&spec),
+            key: None,
+            tiles: Vec::with_capacity(usize::from(TileId::COUNT)),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The bucket quantum, when the spec's tile-membership breakpoints
+    /// align with it exactly: the yaw sampling step `half_w / 8`, which
+    /// must also divide 180° (yaw tile boundaries repeat mod 360°), 90°
+    /// (pitch clamp and tile boundaries) and `half_h` (pitch span edges).
+    fn exact_quantum(spec: &FovSpec) -> Option<f64> {
+        let half_w = spec.width_deg / 2.0 + spec.margin_deg;
+        let half_h = spec.height_deg / 2.0 + spec.margin_deg;
+        let q = half_w / 8.0;
+        if !(q.is_finite() && q > 0.0) {
+            return None;
+        }
+        let divides = |v: f64| v % q == 0.0;
+        (divides(180.0) && divides(90.0) && divides(half_h)).then_some(q)
+    }
+
+    /// Whether bucket reuse is enabled for this spec.
+    pub fn enabled(&self) -> bool {
+        self.quantum.is_some()
+    }
+
+    /// `(hits, misses)` counters; a miss recomputes the tile set.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// The FoV tile set for `pose`, identical to
+    /// `tiles_for_pose(&spec, pose)` — served from the previous slot's
+    /// set when the orientation bucket matches.
+    pub fn tiles_for(&mut self, pose: &Pose) -> &[TileId] {
+        let key = self.orientation_key(pose);
+        if key.is_some() && key == self.key {
+            self.hits += 1;
+            #[cfg(debug_assertions)]
+            {
+                let mut fresh = Vec::new();
+                tiles_for_pose_into(&self.spec, pose, &mut fresh);
+                debug_assert_eq!(
+                    fresh, self.tiles,
+                    "FovRequestCache hit diverged from tiles_for_pose"
+                );
+            }
+            return &self.tiles;
+        }
+        self.misses += 1;
+        tiles_for_pose_into(&self.spec, pose, &mut self.tiles);
+        self.key = key;
+        &self.tiles
+    }
+
+    /// The tile set of the most recent [`FovRequestCache::tiles_for`]
+    /// call.
+    pub fn tiles(&self) -> &[TileId] {
+        &self.tiles
+    }
+
+    fn orientation_key(&self, pose: &Pose) -> Option<OrientationKey> {
+        let q = self.quantum?;
+        let half_w = self.spec.width_deg / 2.0 + self.spec.margin_deg;
+        let yaw_key = if half_w >= 180.0 {
+            // Every yaw overlaps every tile: orientation yaw is irrelevant.
+            0
+        } else {
+            Self::bucket(pose.orientation.yaw, q)?
+        };
+        let pitch = pose.orientation.pitch;
+        let pitch_key = if pitch >= 90.0 {
+            POLE_KEY
+        } else if pitch <= -90.0 {
+            -POLE_KEY
+        } else {
+            Self::bucket(pitch, q)?
+        };
+        Some((yaw_key, pitch_key))
+    }
+
+    /// The bucket index of `v`, or `None` when `v` sits inside the guard
+    /// band of a bucket boundary (or is too large to index safely).
+    fn bucket(v: f64, q: f64) -> Option<i64> {
+        let scaled = v / q;
+        if !scaled.is_finite() || scaled.abs() >= 1e15 {
+            return None;
+        }
+        let floor = scaled.floor();
+        let frac = scaled - floor;
+        if !(BOUNDARY_GUARD..=1.0 - BOUNDARY_GUARD).contains(&frac) {
+            return None;
+        }
+        Some(floor as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tile::tiles_for_pose;
+    use cvr_core::quality::QualityLevel;
+    use cvr_motion::pose::{Orientation, Vec3};
+
+    fn cell(x: i32, z: i32) -> CellId {
+        CellId { x, z }
+    }
+
+    fn pose(yaw: f64, pitch: f64) -> Pose {
+        Pose::new(Vec3::default(), Orientation::new(yaw, pitch, 0.0))
+    }
+
+    #[test]
+    fn plane_rows_are_bit_identical_to_tile_rate_row() {
+        let sizing = TileSizeModel::paper_default();
+        let mut plane = RatePlane::new(sizing.clone(), 16);
+        let mut fresh = vec![0.0f64; sizing.levels()];
+        for x in -4..4 {
+            for z in -4..4 {
+                for tile in TileId::all() {
+                    let row = plane.row(cell(x, z), tile).to_vec();
+                    sizing.tile_rate_row(cell(x, z), tile, &mut fresh);
+                    assert_eq!(row, fresh, "cell ({x},{z}) {tile}");
+                    for l in 1..=sizing.levels() as u8 {
+                        let q = QualityLevel::new(l);
+                        assert_eq!(row[q.index()], sizing.tile_rate_mbps(cell(x, z), tile, q));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plane_hits_after_first_touch_and_counts() {
+        let mut plane = RatePlane::new(TileSizeModel::paper_default(), 8);
+        plane.rows(cell(0, 0));
+        plane.rows(cell(0, 0));
+        plane.row(cell(0, 0), TileId::new(3));
+        assert_eq!(plane.stats(), (2, 1));
+        assert_eq!(plane.resident_cells(), 1);
+    }
+
+    #[test]
+    fn plane_evicts_least_recently_used_cell() {
+        let mut plane = RatePlane::new(TileSizeModel::paper_default(), 2);
+        plane.rows(cell(0, 0));
+        plane.rows(cell(1, 0));
+        plane.rows(cell(0, 0)); // refresh (0,0)
+        plane.rows(cell(2, 0)); // evicts (1,0)
+        assert_eq!(plane.resident_cells(), 2);
+        let before = plane.stats();
+        plane.rows(cell(0, 0));
+        assert_eq!(plane.stats().0, before.0 + 1, "(0,0) should still hit");
+        plane.rows(cell(1, 0));
+        assert_eq!(plane.stats().1, before.1 + 1, "(1,0) was evicted");
+    }
+
+    #[test]
+    fn plane_capacity_is_respected_under_churn() {
+        let mut plane = RatePlane::new(TileSizeModel::paper_default(), 4);
+        for x in 0..100 {
+            plane.rows(cell(x, -x));
+            assert!(plane.resident_cells() <= 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_plane_panics() {
+        let _ = RatePlane::new(TileSizeModel::paper_default(), 0);
+    }
+
+    #[test]
+    fn fov_cache_is_enabled_for_paper_default_only_when_exact() {
+        assert!(FovRequestCache::new(FovSpec::paper_default()).enabled());
+        // 100° FoV + 15° margin → half_w = 65°, quantum 8.125° does not
+        // divide 180°: caching must disable itself.
+        let odd = FovSpec {
+            width_deg: 100.0,
+            ..FovSpec::paper_default()
+        };
+        assert!(!FovRequestCache::new(odd).enabled());
+    }
+
+    #[test]
+    fn fov_cache_matches_brute_force_across_orientation_sweep() {
+        let spec = FovSpec::paper_default();
+        let mut cache = FovRequestCache::new(spec);
+        let mut hits = 0u64;
+        // Dense sweep including breakpoint-adjacent values and pole
+        // clamps; every returned set must equal the brute-force one.
+        let mut yaw = -200.0;
+        while yaw < 200.0 {
+            let mut pitch = -100.0;
+            while pitch <= 100.0 {
+                let p = pose(yaw, pitch);
+                let cached = cache.tiles_for(&p).to_vec();
+                assert_eq!(cached, tiles_for_pose(&spec, &p), "yaw {yaw} pitch {pitch}");
+                // Repeat query must hit (same bucket) unless bypassed.
+                let again = cache.tiles_for(&p).to_vec();
+                assert_eq!(again, cached);
+                pitch += 3.1;
+            }
+            yaw += 3.7;
+        }
+        hits += cache.stats().0;
+        assert!(hits > 0, "sweep should produce repeat-query hits");
+    }
+
+    #[test]
+    fn fov_cache_invalidates_on_bucket_crossings_only() {
+        let mut cache = FovRequestCache::new(FovSpec::paper_default());
+        let p = pose(90.0 + 1.0, 0.0 + 1.0);
+        cache.tiles_for(&p);
+        let (h0, m0) = cache.stats();
+        // Same bucket: hit.
+        cache.tiles_for(&pose(92.0, 1.2));
+        assert_eq!(cache.stats(), (h0 + 1, m0));
+        // Position changes do not key the cache: membership depends on
+        // orientation alone, so a moved user in the same bucket hits.
+        cache.tiles_for(&Pose::new(
+            Vec3::new(5.0, 1.7, -5.0),
+            Orientation::new(92.0, 1.2, 0.0),
+        ));
+        assert_eq!(cache.stats(), (h0 + 2, m0));
+        // Orientation bucket crossing (yaw bucket changes): miss.
+        cache.tiles_for(&pose(99.0, 1.2));
+        assert_eq!(cache.stats(), (h0 + 2, m0 + 1));
+    }
+
+    #[test]
+    fn fov_cache_bypasses_breakpoint_poses() {
+        let mut cache = FovRequestCache::new(FovSpec::paper_default());
+        // Exactly on a 7.5° multiple: never bucketed, always recomputed.
+        let p = pose(7.5, 0.1);
+        cache.tiles_for(&p);
+        cache.tiles_for(&p);
+        assert_eq!(cache.stats().0, 0, "breakpoint pose must not hit");
+    }
+
+    #[test]
+    fn fov_cache_pole_poses_share_a_bucket() {
+        let spec = FovSpec::paper_default();
+        let mut cache = FovRequestCache::new(spec);
+        let a = pose(40.0, 95.0);
+        let b = pose(40.0, 200.0);
+        let first = cache.tiles_for(&a).to_vec();
+        let second = cache.tiles_for(&b).to_vec();
+        assert_eq!(first, tiles_for_pose(&spec, &a));
+        assert_eq!(second, tiles_for_pose(&spec, &b));
+        assert_eq!(cache.stats().0, 1, "clamped poses share the pole bucket");
+    }
+
+    #[test]
+    fn disabled_fov_cache_still_returns_correct_tiles() {
+        let spec = FovSpec {
+            width_deg: 100.0,
+            ..FovSpec::paper_default()
+        };
+        let mut cache = FovRequestCache::new(spec);
+        for (yaw, pitch) in [(0.0, 0.0), (90.0, 30.0), (90.0, 30.0), (-120.0, -50.0)] {
+            let p = pose(yaw, pitch);
+            assert_eq!(cache.tiles_for(&p), tiles_for_pose(&spec, &p));
+        }
+        assert_eq!(cache.stats().0, 0, "disabled cache never hits");
+    }
+}

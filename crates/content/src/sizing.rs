@@ -122,6 +122,15 @@ impl TileSizeModel {
     /// [`TileSizeModel::tile_rate_mbps`] call — the hot-path form used by
     /// the slot engine's problem build.
     ///
+    /// # Contract
+    ///
+    /// Exactly `out[..levels]` is written; any excess capacity beyond the
+    /// level count is **left untouched** (not zeroed). Callers that reuse
+    /// oversized scratch buffers must therefore never read past `levels`.
+    /// The engine-path consumer ([`crate::plane::RatePlane`]) passes
+    /// exactly-`levels` slices and `debug_assert`s as much, so no stale
+    /// tail can leak into a build.
+    ///
     /// # Panics
     ///
     /// Panics if `out` is shorter than the number of levels.

@@ -79,6 +79,16 @@ fn yaw_interval_overlaps(a0: f64, a1: f64, t0: f64, t1: f64) -> bool {
 /// The set of tiles overlapping the FoV (with margin) around the given
 /// pose — the tiles the server must deliver for that pose.
 pub fn tiles_for_pose(spec: &FovSpec, pose: &Pose) -> Vec<TileId> {
+    let mut out = Vec::with_capacity(usize::from(TileId::COUNT));
+    tiles_for_pose_into(spec, pose, &mut out);
+    out
+}
+
+/// Buffer-reusing variant of [`tiles_for_pose`]: clears `out` and fills it
+/// with the same tile set, in the same order, without allocating once the
+/// buffer has grown to four entries.
+pub fn tiles_for_pose_into(spec: &FovSpec, pose: &Pose, out: &mut Vec<TileId>) {
+    out.clear();
     let half_w = spec.width_deg / 2.0 + spec.margin_deg;
     let half_h = spec.height_deg / 2.0 + spec.margin_deg;
     let yaw = pose.orientation.yaw;
@@ -87,20 +97,17 @@ pub fn tiles_for_pose(spec: &FovSpec, pose: &Pose) -> Vec<TileId> {
     let pitch = pose.orientation.pitch.clamp(-90.0, 90.0);
     let (p_lo, p_hi) = (pitch - half_h, pitch + half_h);
 
-    TileId::all()
-        .into_iter()
-        .filter(|tile| {
-            let (t_p0, t_p1) = tile.pitch_range();
-            let pitch_overlap = p_lo < t_p1 && p_hi > t_p0;
-            let (t_y0, t_y1) = tile.yaw_range();
-            let yaw_overlap = if half_w >= 180.0 {
-                true
-            } else {
-                yaw_interval_overlaps(yaw - half_w, yaw + half_w, t_y0, t_y1)
-            };
-            pitch_overlap && yaw_overlap
-        })
-        .collect()
+    out.extend(TileId::all().into_iter().filter(|tile| {
+        let (t_p0, t_p1) = tile.pitch_range();
+        let pitch_overlap = p_lo < t_p1 && p_hi > t_p0;
+        let (t_y0, t_y1) = tile.yaw_range();
+        let yaw_overlap = if half_w >= 180.0 {
+            true
+        } else {
+            yaw_interval_overlaps(yaw - half_w, yaw + half_w, t_y0, t_y1)
+        };
+        pitch_overlap && yaw_overlap
+    }));
 }
 
 #[cfg(test)]

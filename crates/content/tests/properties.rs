@@ -1,8 +1,9 @@
 //! Property-based tests for the content substrate.
 
-use cvr_content::cache::{ClientTileBuffer, ServerTileCache};
+use cvr_content::cache::{ClientTileBuffer, DeliveryLedger, ServerTileCache, UndeliveredSums};
 use cvr_content::grid::{CellId, GridWorld};
 use cvr_content::id::VideoId;
+use cvr_content::plane::{FovRequestCache, RatePlane};
 use cvr_content::sizing::TileSizeModel;
 use cvr_content::tile::{tiles_for_pose, TileId};
 use cvr_core::quality::QualityLevel;
@@ -106,6 +107,90 @@ proptest! {
         // Conservation: every insertion is either still held or released
         // (a tile re-stored after release counts as a new insertion).
         prop_assert_eq!(buffer.len() + total_released, insertions);
+    }
+
+    // The whole cached build-stage data plane — FoV request cache, rate
+    // plane, incremental undelivered sums — must stay *bit*-identical to
+    // a brute-force rebuild at every step of a random walk that crosses
+    // cells, crosses orientation buckets, and interleaves ACKs (including
+    // foreign-cell ACKs) with releases.
+    #[test]
+    fn cached_build_plane_matches_brute_force_along_random_walks(
+        start in arb_pose(),
+        steps in prop::collection::vec(
+            (
+                (-0.3f64..0.3, -0.3f64..0.3, -20.0f64..20.0, -10.0f64..10.0),
+                // Tile values >= 4 mean "no ACK this step" (the shim has no
+                // Option strategy, so the gap encodes absence).
+                (0u8..8, 1u8..=6, -1i32..=1, -1i32..=1),
+                proptest::bool::ANY,
+            ),
+            1..80,
+        ),
+    ) {
+        let grid = GridWorld::paper_default();
+        let sizing = TileSizeModel::paper_default();
+        let spec = FovSpec::paper_default();
+        let levels = sizing.levels();
+        // Tiny plane capacity so walks exercise eviction and re-entry.
+        let mut plane = RatePlane::new(sizing.clone(), 4);
+        let mut fov = FovRequestCache::new(spec);
+        let mut ledger = DeliveryLedger::new();
+        let mut sums = UndeliveredSums::new(levels);
+        let mut acked: Vec<VideoId> = Vec::new();
+        let mut pose = start;
+        let mut row = vec![0.0f64; levels];
+        for ((dx, dz, dyaw, dpitch), (t, q, ox, oz), release) in steps {
+            // Feedback first, as in the slot loop: ACKs may land on the
+            // targeted cell or a neighbour, releases drop old deliveries.
+            if t < 4 {
+                let c = grid.cell_of(&pose.position);
+                let id = VideoId::new(
+                    CellId { x: c.x + ox, z: c.z + oz },
+                    TileId::new(t),
+                    QualityLevel::new(q),
+                );
+                sums.acknowledge(&mut ledger, id);
+                acked.push(id);
+            }
+            if release && !acked.is_empty() {
+                let id = acked.remove(0);
+                sums.release(&mut ledger, [id]);
+            }
+            pose = Pose::new(
+                Vec3::new(pose.position.x + dx, 1.7, pose.position.z + dz),
+                Orientation::new(
+                    pose.orientation.yaw + dyaw,
+                    pose.orientation.pitch + dpitch,
+                    0.0,
+                ),
+            );
+            let cell = grid.cell_of(&pose.position);
+            let tiles = fov.tiles_for(&pose).to_vec();
+            prop_assert_eq!(&tiles, &tiles_for_pose(&spec, &pose));
+            if !sums.targets(cell, &tiles) {
+                sums.retarget(cell, &tiles, plane.rows(cell), &ledger);
+            }
+            sums.assert_matches_ledger(&ledger);
+            for l in 0..levels {
+                let q = QualityLevel::new((l + 1) as u8);
+                let mut brute = 0.0f64;
+                for &tile in &tiles {
+                    if !ledger.is_delivered(&VideoId::new(cell, tile, q)) {
+                        sizing.tile_rate_row(cell, tile, &mut row);
+                        brute += row[l];
+                    }
+                }
+                prop_assert_eq!(
+                    brute.to_bits(),
+                    sums.sums()[l].to_bits(),
+                    "level {} drifted: brute {} vs cached {}",
+                    l + 1,
+                    brute,
+                    sums.sums()[l]
+                );
+            }
+        }
     }
 
     #[test]

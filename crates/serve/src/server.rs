@@ -23,14 +23,16 @@
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
-use cvr_content::cache::DeliveryLedger;
+use cvr_content::cache::{DeliveryLedger, UndeliveredSums};
 use cvr_content::id::VideoId;
-use cvr_content::library::{ContentLibrary, ContentRequest};
+use cvr_content::library::ContentLibrary;
+use cvr_content::plane::{FovRequestCache, RatePlane, DEFAULT_PLANE_CELLS};
 use cvr_core::delay::{DelayModel, Mm1Delay};
 use cvr_core::engine::{SlotEngine, StageClock};
 use cvr_core::objective::QoeParams;
 use cvr_core::qoe::{UserQoeAccumulator, UserQoeSummary};
 use cvr_core::quality::QualityLevel;
+use cvr_core::variance::VarianceTracker;
 use cvr_motion::accuracy::DeltaEstimator;
 use cvr_motion::pose::Pose;
 use cvr_motion::predict::LinearPredictor;
@@ -71,6 +73,9 @@ pub struct ServeConfig {
     pub outbound_queue_frames: usize,
     /// Most users the session admits; later Hellos are refused.
     pub max_users: usize,
+    /// Worker threads for the per-user problem build (1 = inline, no
+    /// spawning). Any thread count stages a bit-identical problem.
+    pub build_threads: usize,
 }
 
 impl Default for ServeConfig {
@@ -83,6 +88,7 @@ impl Default for ServeConfig {
             ema_weight: 0.05,
             outbound_queue_frames: 64,
             max_users: 16,
+            build_threads: 1,
         }
     }
 }
@@ -108,6 +114,11 @@ struct UserState {
     delta: DeltaEstimator,
     bandwidth: EmaEstimator,
     ledger: DeliveryLedger,
+    /// Visible-tile request cache keyed on (cell, orientation bucket).
+    fov_cache: FovRequestCache,
+    /// Per-level undelivered-rate sums over the current FoV target, kept
+    /// in lockstep with `ledger` through the paired ACK/Release calls.
+    undelivered: UndeliveredSums,
     qoe: UserQoeAccumulator,
     last_pose: Pose,
     last_pose_seq: u64,
@@ -126,6 +137,7 @@ impl UserState {
         user_id: u32,
         transport: Box<dyn ServerTransport>,
         config: &ServeConfig,
+        library: &ContentLibrary,
         seed: u64,
     ) -> Self {
         UserState {
@@ -135,6 +147,8 @@ impl UserState {
             delta: DeltaEstimator::ewma(1.0, 0.02),
             bandwidth: EmaEstimator::new(config.ema_weight),
             ledger: DeliveryLedger::new(),
+            fov_cache: FovRequestCache::new(*library.fov()),
+            undelivered: UndeliveredSums::new(library.quality_set().len()),
             qoe: UserQoeAccumulator::new(config.params),
             last_pose: Pose::default(),
             last_pose_seq: 0,
@@ -235,11 +249,18 @@ pub struct Session {
     ingest_clock: StageClock,
     transmit_clock: StageClock,
     tick_clock: StageClock,
-    // Reused per-slot scratch, engine-index order.
+    /// Session-wide cache of materialised per-cell rate rows.
+    plane: RatePlane,
+    // Reused per-slot scratch, engine-index order. The `plan_*` tables
+    // are flat copies of per-user build inputs: `UserState` owns a
+    // non-`Sync` transport, so the parallel fill reads these instead.
     plan_ids: Vec<usize>,
-    plan_requests: Vec<ContentRequest>,
     plan_predicted: Vec<Pose>,
-    tile_row: Vec<f64>,
+    plan_bn: Vec<f64>,
+    plan_delta: Vec<f64>,
+    plan_tracker: Vec<VarianceTracker>,
+    /// Per-user undelivered-rate sums, `levels` entries per user.
+    plan_sums: Vec<f64>,
     manifest: Vec<VideoId>,
 }
 
@@ -247,7 +268,7 @@ impl Session {
     /// Creates an empty session over the paper-default content library.
     pub fn new(config: ServeConfig) -> Self {
         let library = ContentLibrary::paper_default();
-        let levels = library.quality_set().len();
+        let plane = RatePlane::new(library.sizing().clone(), DEFAULT_PLANE_CELLS);
         Session {
             config,
             library,
@@ -261,10 +282,13 @@ impl Session {
             ingest_clock: StageClock::default(),
             transmit_clock: StageClock::default(),
             tick_clock: StageClock::default(),
+            plane,
             plan_ids: Vec::new(),
-            plan_requests: Vec::new(),
             plan_predicted: Vec::new(),
-            tile_row: vec![0.0; levels],
+            plan_bn: Vec::new(),
+            plan_delta: Vec::new(),
+            plan_tracker: Vec::new(),
+            plan_sums: Vec::new(),
             manifest: Vec::new(),
         }
     }
@@ -441,7 +465,13 @@ impl Session {
                 .min(u64::from(u32::MAX) as u128) as u32,
             levels: self.library.quality_set().len() as u8,
         });
-        self.users[slot] = Some(UserState::new(user_id, transport, &self.config, seed));
+        self.users[slot] = Some(UserState::new(
+            user_id,
+            transport,
+            &self.config,
+            &self.library,
+            seed,
+        ));
         self.counters.joins += 1;
     }
 
@@ -476,11 +506,11 @@ impl Session {
                     }
                     Ok(ClientMessage::Ack { ids }) => {
                         for vid in ids {
-                            user.ledger.acknowledge(vid);
+                            user.undelivered.acknowledge(&mut user.ledger, vid);
                         }
                     }
                     Ok(ClientMessage::Release { ids }) => {
-                        user.ledger.release(ids);
+                        user.undelivered.release(&mut user.ledger, ids);
                     }
                     Ok(ClientMessage::BandwidthSample { mbps }) => {
                         user.bandwidth.update(mbps);
@@ -515,17 +545,28 @@ impl Session {
     }
 
     /// Stages this slot's problem into the engine and solves it.
+    ///
+    /// The build runs in two passes. A sequential pass resolves each
+    /// user's FoV target (cached visible-tile request, cached rate-plane
+    /// rows, incremental undelivered sums) and snapshots the per-user
+    /// build inputs into flat scratch tables. A second pass then fills
+    /// the staged rate/value tables, optionally across
+    /// `build_threads` workers — every user's rows are written by exactly
+    /// one worker, so the staged problem is bit-identical at any thread
+    /// count.
     fn plan(&mut self) {
         self.plan_ids.clear();
-        self.plan_requests.clear();
         self.plan_predicted.clear();
+        self.plan_bn.clear();
+        self.plan_delta.clear();
+        self.plan_tracker.clear();
+        self.plan_sums.clear();
 
         let dt = self.config.slot_duration.as_secs_f64();
         let levels = self.library.quality_set().len();
         let floor_slots = PROPAGATION_S / dt;
 
         let build_start = Instant::now();
-        self.engine.begin_slot(self.config.server_total_mbps);
         for id in 0..self.users.len() {
             let Some(user) = &mut self.users[id] else {
                 continue;
@@ -538,46 +579,58 @@ impl Session {
                 .predictor
                 .predict_fractional(horizon)
                 .unwrap_or(user.last_pose);
-            let request = self.library.request_for(&predicted);
+            let cell = self.library.grid().cell_of(&predicted.position);
+            let tiles = user.fov_cache.tiles_for(&predicted);
+            if !user.undelivered.targets(cell, tiles) {
+                user.undelivered
+                    .retarget(cell, tiles, self.plane.rows(cell), &user.ledger);
+            }
+            #[cfg(debug_assertions)]
+            user.undelivered.assert_matches_ledger(&user.ledger);
+
             let bn = user
                 .bandwidth
                 .estimate_or(self.config.default_bandwidth_mbps)
                 .max(1.0);
-            let delta = user.delta.estimate();
-            let tracker = *user.qoe.tracker();
-            let fallback = Mm1Delay::new(bn).expect("positive estimate");
-
-            let tables = self.engine.add_user(levels, bn);
-            // Retransmission suppression: only undelivered tiles cost
-            // bandwidth at each level (mirror of the system simulator).
-            for &tile in &request.tiles {
-                self.library
-                    .sizing()
-                    .tile_rate_row(request.cell, tile, &mut self.tile_row);
-                for l in 1..=levels {
-                    let q = QualityLevel::new(l as u8);
-                    if !user
-                        .ledger
-                        .is_delivered(&VideoId::new(request.cell, tile, q))
-                    {
-                        tables.rates[q.index()] += self.tile_row[q.index()];
-                    }
-                }
-            }
-            for l in 1..=levels {
-                let q = QualityLevel::new(l as u8);
-                tables.rates[q.index()] += CONTROL_OVERHEAD_MBPS;
-                let raw = tables.rates[q.index()];
-                let delay = fallback.delay(raw) + floor_slots;
-                tables.values[q.index()] = delta * q.value()
-                    - self.config.params.alpha * delay
-                    - self.config.params.beta * tracker.expected_penalty(q.value(), delta);
-            }
-            sanitize_rates(tables.rates);
-
             self.plan_ids.push(id);
-            self.plan_requests.push(request);
             self.plan_predicted.push(predicted);
+            self.plan_bn.push(bn);
+            self.plan_delta.push(user.delta.estimate());
+            self.plan_tracker.push(*user.qoe.tracker());
+            self.plan_sums.extend_from_slice(user.undelivered.sums());
+        }
+
+        self.engine.begin_slot(self.config.server_total_mbps);
+        self.engine.add_users(levels, &self.plan_bn);
+        {
+            let (rates_table, values_table) = self.engine.staged_tables_mut();
+            let params = self.config.params;
+            let plan_bn = &self.plan_bn;
+            let plan_delta = &self.plan_delta;
+            let plan_tracker = &self.plan_tracker;
+            let plan_sums = &self.plan_sums;
+            cvr_sim::parallel::parallel_chunk_pairs(
+                rates_table,
+                values_table,
+                levels,
+                self.config.build_threads.max(1),
+                |u, rates, values| {
+                    let delta = plan_delta[u];
+                    let tracker = plan_tracker[u];
+                    let fallback = Mm1Delay::new(plan_bn[u]).expect("positive estimate");
+                    let sums = &plan_sums[u * levels..(u + 1) * levels];
+                    for l in 1..=levels {
+                        let q = QualityLevel::new(l as u8);
+                        rates[q.index()] = sums[q.index()] + CONTROL_OVERHEAD_MBPS;
+                        let raw = rates[q.index()];
+                        let delay = fallback.delay(raw) + floor_slots;
+                        values[q.index()] = delta * q.value()
+                            - params.alpha * delay
+                            - params.beta * tracker.expected_penalty(q.value(), delta);
+                    }
+                    sanitize_rates(rates);
+                },
+            );
         }
         self.engine.timers_mut().build.record(build_start.elapsed());
 
@@ -601,14 +654,14 @@ impl Session {
                 assigned
             };
             let rate = self.engine.rates(i)[quality.index()];
-            let request = &self.plan_requests[i];
+            let cell = user.undelivered.cell().expect("targeted during plan");
 
             self.manifest.clear();
             self.manifest.extend(
-                request
-                    .tiles
+                user.undelivered
+                    .tiles()
                     .iter()
-                    .map(|&t| VideoId::new(request.cell, t, quality))
+                    .map(|&t| VideoId::new(cell, t, quality))
                     .filter(|vid| !user.ledger.is_delivered(vid)),
             );
 
@@ -849,6 +902,76 @@ mod tests {
             }
         }
         assert!(saw_degraded);
+    }
+
+    #[test]
+    fn build_threads_do_not_change_assignments_or_qoe() {
+        use cvr_motion::pose::{Orientation, Vec3};
+
+        // Drives two clients through pose walks that cross cells and
+        // orientation buckets, ACKing every manifest, and records the
+        // full assignment stream. Any thread count must reproduce the
+        // single-threaded stream bit for bit.
+        let run = |threads: usize| {
+            let mut session = Session::new(ServeConfig {
+                build_threads: threads,
+                ..ServeConfig::default()
+            });
+            let mut clients = vec![join_one(&mut session), join_one(&mut session)];
+            session.step_slot();
+            for client in &mut clients {
+                let _welcome = client.try_recv();
+            }
+            let mut stream = Vec::new();
+            for seq in 0..24u64 {
+                for (c, client) in clients.iter_mut().enumerate() {
+                    let t = seq as f64;
+                    client.send(&ClientMessage::Pose {
+                        seq,
+                        pose: Pose {
+                            position: Vec3::new(0.35 * t * (c as f64 + 1.0), 1.6, -0.2 * t),
+                            orientation: Orientation {
+                                yaw: 9.0 * t + 120.0 * c as f64,
+                                pitch: 3.0 * t - 20.0,
+                                roll: 0.0,
+                            },
+                        },
+                    });
+                    client.send(&ClientMessage::BandwidthSample {
+                        mbps: 30.0 + 10.0 * c as f64 + t,
+                    });
+                }
+                session.step_slot();
+                for (c, client) in clients.iter_mut().enumerate() {
+                    while let Some(Ok(message)) = client.try_recv() {
+                        if let ServerMessage::Assignment {
+                            slot,
+                            quality,
+                            rate_mbps,
+                            manifest,
+                            ..
+                        } = message
+                        {
+                            stream.push((c, slot, quality, rate_mbps.to_bits(), manifest.clone()));
+                            if !manifest.is_empty() && seq % 3 != 2 {
+                                client.send(&ClientMessage::Ack { ids: manifest });
+                            }
+                        }
+                    }
+                }
+            }
+            session.shutdown();
+            let qoe: Vec<_> = session
+                .report()
+                .users
+                .iter()
+                .map(|u| u.qoe.qoe_per_slot.to_bits())
+                .collect();
+            (stream, qoe)
+        };
+        let baseline = run(1);
+        assert_eq!(baseline, run(2));
+        assert_eq!(baseline, run(4));
     }
 
     #[test]

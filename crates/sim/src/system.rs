@@ -17,9 +17,10 @@ use std::time::Instant;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-use cvr_content::cache::{ClientTileBuffer, DeliveryLedger, ServerTileCache};
+use cvr_content::cache::{ClientTileBuffer, DeliveryLedger, ServerTileCache, UndeliveredSums};
 use cvr_content::id::VideoId;
 use cvr_content::library::ContentLibrary;
+use cvr_content::plane::{FovRequestCache, RatePlane, DEFAULT_PLANE_CELLS};
 use cvr_core::alloc::Allocator;
 use cvr_core::delay::{DelayModel, Mm1Delay};
 use cvr_core::engine::SlotEngine;
@@ -104,6 +105,10 @@ pub struct SystemConfig {
     /// Record per-slot, per-user time series (chosen level, viewed
     /// quality, delay) into the run result.
     pub record_timeseries: bool,
+    /// Threads used for the per-user problem build (`1` = inline, no
+    /// spawn). Per-user table writes are disjoint, so the assignments are
+    /// bit-identical at every thread count.
+    pub build_threads: usize,
     /// Master seed.
     pub seed: u64,
 }
@@ -128,6 +133,7 @@ impl SystemConfig {
             pose_upload_period_slots: 1,
             rendering: RenderingMode::Offline,
             record_timeseries: false,
+            build_threads: 1,
             seed,
         }
     }
@@ -368,6 +374,12 @@ pub fn run_instrumented(
     // sent (a lost transfer implies ≈1 lost packet at small loss rates).
     let mut loss_estimate = PacketLossEstimate::new();
     let mut ledgers: Vec<DeliveryLedger> = (0..n).map(|_| DeliveryLedger::new()).collect();
+    // Build-stage data plane: cached per-cell rate rows, per-user FoV
+    // request reuse, and incrementally maintained undelivered-rate sums.
+    let mut plane = RatePlane::new(library.sizing().clone(), DEFAULT_PLANE_CELLS);
+    let mut fov_caches: Vec<FovRequestCache> = (0..n)
+        .map(|_| FovRequestCache::new(*library.fov()))
+        .collect();
     let mut buffers: Vec<ClientTileBuffer> = (0..n)
         .map(|_| ClientTileBuffer::new(config.client_buffer_tiles))
         .collect();
@@ -431,10 +443,10 @@ pub fn run_instrumented(
     let mut engine = SlotEngine::new();
     let mut actual: Vec<Pose> = Vec::with_capacity(n);
     let mut predicted: Vec<Pose> = Vec::with_capacity(n);
-    let mut requests = Vec::with_capacity(n);
+    let mut undelivered: Vec<UndeliveredSums> =
+        (0..n).map(|_| UndeliveredSums::new(levels)).collect();
     let mut estimated_bn: Vec<f64> = Vec::with_capacity(n);
     let mut assignment: Vec<QualityLevel> = Vec::with_capacity(n);
-    let mut tile_row = vec![0.0f64; levels];
     let mut router_caps: Vec<f64> = Vec::with_capacity(config.num_routers);
     let mut demands: Vec<Vec<(usize, f64)>> = vec![Vec::new(); config.num_routers];
     let mut effective_bn = vec![0.0f64; n];
@@ -452,16 +464,18 @@ pub fn run_instrumented(
             }
         }
 
-        // 1. Apply feedback that has arrived by now.
+        // 1. Apply feedback that has arrived by now. ACK/release events go
+        //    through the paired `UndeliveredSums` calls so the ledger and
+        //    the incremental per-level sums can never drift apart.
         while let Some((_, fb)) = feedback.pop_before(now) {
             match fb {
                 Feedback::Acknowledge { user, ids } => {
                     for id in ids {
-                        ledgers[user].acknowledge(id);
+                        undelivered[user].acknowledge(&mut ledgers[user], id);
                     }
                 }
                 Feedback::Release { user, ids } => {
-                    ledgers[user].release(ids);
+                    undelivered[user].release(&mut ledgers[user], ids);
                 }
             }
         }
@@ -513,66 +527,86 @@ pub fn run_instrumented(
                 .predict_fractional(horizon_slots / period as f64)
                 .unwrap_or(actual[u])
         }));
-        requests.clear();
-        requests.extend((0..n).map(|u| library.request_for(&predicted[u])));
-
         estimated_bn.clear();
         estimated_bn
             .extend((0..n).map(|u| bandwidth_estimates[u].estimate_or(throttles[u]).max(1.0)));
 
         // Build the slot problem directly into the engine's reused tables.
         let build_start = Instant::now();
-        engine.begin_slot(config.server_total_mbps);
+
+        // Sequential pass: resolve each user's FoV request (cached while
+        // the pose stays in the same cell + orientation bucket) and
+        // retarget the undelivered sums only when the request changed.
+        // Retransmission suppression happens here: the sums already hold
+        // the per-level rate of only the *undelivered* tiles, with each
+        // (cell, tile) complexity hashed once per resident cell ever.
         for u in 0..n {
-            let delta = deltas[u].estimate();
-            let tracker = *accumulators[u].tracker();
-            let fallback = Mm1Delay::new(estimated_bn[u]).expect("positive estimate");
-            let delay_model = EstimatedDelay {
-                poly: &delay_estimators[u],
-                fallback,
-                floor_slots: PROPAGATION_S / dt,
-            };
-            let tables = engine.add_user(levels, estimated_bn[u]);
-            // Retransmission suppression: only undelivered tiles cost
-            // bandwidth at each level. Tiles accumulate in request order,
-            // with each (cell, tile) complexity hashed once for all levels.
-            for &tile in &requests[u].tiles {
-                library
-                    .sizing()
-                    .tile_rate_row(requests[u].cell, tile, &mut tile_row);
-                for l in 1..=levels {
-                    let q = QualityLevel::new(l as u8);
-                    if !ledgers[u].is_delivered(&VideoId::new(requests[u].cell, tile, q)) {
-                        tables.rates[q.index()] += tile_row[q.index()];
-                    }
-                }
+            let cell = library.grid().cell_of(&predicted[u].position);
+            let tiles = fov_caches[u].tiles_for(&predicted[u]);
+            if !undelivered[u].targets(cell, tiles) {
+                undelivered[u].retarget(cell, tiles, plane.rows(cell), &ledgers[u]);
             }
-            for l in 1..=levels {
-                let q = QualityLevel::new(l as u8);
-                tables.rates[q.index()] += CONTROL_OVERHEAD_MBPS;
-                // The objective prices the level at its *incremental*
-                // transmission cost `raw` (the suppressed rate), not the
-                // full-library rate — what this slot will actually send.
-                let raw = tables.rates[q.index()];
-                let delta_eff = match mode {
-                    ObjectiveMode::LossAware => {
-                        let packets = packets_for_rate(raw, dt, config.packet_size_kbit);
-                        let survive =
-                            1.0 - transfer_loss_probability(loss_estimate.estimate(), packets);
-                        delta * survive
+            #[cfg(debug_assertions)]
+            undelivered[u].assert_matches_ledger(&ledgers[u]);
+        }
+
+        // Parallel fill: each user's table rows are a disjoint chunk of
+        // the staged tables, so any thread count produces bit-identical
+        // tables (and therefore assignments).
+        engine.begin_slot(config.server_total_mbps);
+        engine.add_users(levels, &estimated_bn);
+        {
+            let (rates_table, values_table) = engine.staged_tables_mut();
+            let floor_slots = PROPAGATION_S / dt;
+            let loss_p = loss_estimate.estimate();
+            let deltas = &deltas;
+            let accumulators = &accumulators;
+            let delay_estimators = &delay_estimators;
+            let undelivered = &undelivered;
+            let estimated_bn = &estimated_bn;
+            crate::parallel::parallel_chunk_pairs(
+                rates_table,
+                values_table,
+                levels,
+                config.build_threads.max(1),
+                |u, rates, values| {
+                    let delta = deltas[u].estimate();
+                    let tracker = *accumulators[u].tracker();
+                    let fallback = Mm1Delay::new(estimated_bn[u]).expect("positive estimate");
+                    let delay_model = EstimatedDelay {
+                        poly: &delay_estimators[u],
+                        fallback,
+                        floor_slots,
+                    };
+                    let sums = undelivered[u].sums();
+                    for l in 1..=levels {
+                        let q = QualityLevel::new(l as u8);
+                        rates[q.index()] = sums[q.index()] + CONTROL_OVERHEAD_MBPS;
+                        // The objective prices the level at its
+                        // *incremental* transmission cost `raw` (the
+                        // suppressed rate), not the full-library rate —
+                        // what this slot will actually send.
+                        let raw = rates[q.index()];
+                        let delta_eff = match mode {
+                            ObjectiveMode::LossAware => {
+                                let packets = packets_for_rate(raw, dt, config.packet_size_kbit);
+                                let survive = 1.0 - transfer_loss_probability(loss_p, packets);
+                                delta * survive
+                            }
+                            _ => delta,
+                        };
+                        let quality_term = delta_eff * q.value();
+                        let delay_term = match mode {
+                            ObjectiveMode::DelayBlind => 0.0,
+                            _ => config.params.alpha * delay_model.delay(raw),
+                        };
+                        let variance_term =
+                            config.params.beta * tracker.expected_penalty(q.value(), delta_eff);
+                        values[q.index()] = quality_term - delay_term - variance_term;
                     }
-                    _ => delta,
-                };
-                let quality_term = delta_eff * q.value();
-                let delay_term = match mode {
-                    ObjectiveMode::DelayBlind => 0.0,
-                    _ => config.params.alpha * delay_model.delay(raw),
-                };
-                let variance_term =
-                    config.params.beta * tracker.expected_penalty(q.value(), delta_eff);
-                tables.values[q.index()] = quality_term - delay_term - variance_term;
-            }
-            sanitize_rates(tables.rates);
+                    sanitize_rates(rates);
+                },
+            );
         }
         engine.timers_mut().build.record(build_start.elapsed());
 
@@ -611,12 +645,13 @@ pub fn run_instrumented(
         for u in 0..n {
             let q = assignment[u];
             let rate = engine.rates(u)[q.index()];
+            let cell = undelivered[u].cell().expect("targeted during build");
             to_send.clear();
             to_send.extend(
-                requests[u]
-                    .tiles
+                undelivered[u]
+                    .tiles()
                     .iter()
-                    .map(|&t| VideoId::new(requests[u].cell, t, q))
+                    .map(|&t| VideoId::new(cell, t, q))
                     .filter(|id| !ledgers[u].is_delivered(id)),
             );
             for id in &to_send {
@@ -820,6 +855,20 @@ mod tests {
         let a = run(&cfg, AllocatorKind::DensityValueGreedy);
         let b = run(&cfg, AllocatorKind::DensityValueGreedy);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn build_threads_do_not_change_results() {
+        let cfg = tiny(21);
+        let baseline = run(&cfg, AllocatorKind::DensityValueGreedy);
+        for threads in [2, 3] {
+            let threaded = SystemConfig {
+                build_threads: threads,
+                ..cfg.clone()
+            };
+            let r = run(&threaded, AllocatorKind::DensityValueGreedy);
+            assert_eq!(r, baseline, "build_threads = {threads} diverged");
+        }
     }
 
     #[test]

@@ -19,7 +19,9 @@
 
 use std::time::Instant;
 
+use cvr_content::cache::{DeliveryLedger, UndeliveredSums};
 use cvr_content::library::ContentLibrary;
+use cvr_content::plane::{FovRequestCache, RatePlane, DEFAULT_PLANE_CELLS};
 use cvr_core::alloc::Allocator;
 use cvr_core::delay::{DelayModel, Mm1Delay};
 use cvr_core::engine::SlotEngine;
@@ -73,6 +75,10 @@ pub struct TraceSimConfig {
     /// quality, delay) into the run result — for slot-level analysis and
     /// plotting. Costs memory proportional to `users × slots`.
     pub record_timeseries: bool,
+    /// Threads used for the per-user problem build (`1` = inline, no
+    /// spawn). Per-user table writes are disjoint, so the assignments are
+    /// bit-identical at every thread count.
+    pub build_threads: usize,
 }
 
 impl TraceSimConfig {
@@ -91,6 +97,7 @@ impl TraceSimConfig {
             trace_override: None,
             motion_override: None,
             record_timeseries: false,
+            build_threads: 1,
         }
     }
 
@@ -101,6 +108,22 @@ impl TraceSimConfig {
 }
 
 pub use crate::metrics::TimeSeries;
+
+/// A borrowed per-level rate table (the cached undelivered sums) viewed as
+/// a [`RateFunction`] for `h_value`. `rate(q)` reads `slice[q.index()]` —
+/// exactly what `TabulatedRate::rate` does — so objective values computed
+/// through it are bit-identical to the old per-slot `rate_table` path.
+struct SliceRate<'a>(&'a [f64]);
+
+impl RateFunction for SliceRate<'_> {
+    fn rate(&self, q: QualityLevel) -> f64 {
+        self.0[q.index()]
+    }
+
+    fn max_level(&self) -> QualityLevel {
+        QualityLevel::new(self.0.len() as u8)
+    }
+}
 
 /// Result of one run.
 #[derive(Debug, Clone, PartialEq)]
@@ -245,6 +268,21 @@ pub fn run_instrumented(
     let mut link_budgets: Vec<f64> = Vec::with_capacity(n);
     let mut assignment: Vec<QualityLevel> = Vec::with_capacity(n);
 
+    // Build-stage data plane. The trace simulation has perfect network
+    // knowledge and no retransmission suppression, so each user's
+    // `UndeliveredSums` runs over a shared, permanently-empty ledger: its
+    // sums are exactly the old per-slot `rate_table` (bit-identical fold
+    // order), cached until the predicted pose leaves the current cell or
+    // orientation bucket.
+    let levels = library.quality_set().len();
+    let empty_ledger = DeliveryLedger::new();
+    let mut plane = RatePlane::new(library.sizing().clone(), DEFAULT_PLANE_CELLS);
+    let mut fov_caches: Vec<FovRequestCache> = (0..n)
+        .map(|_| FovRequestCache::new(*library.fov()))
+        .collect();
+    let mut rate_sums: Vec<UndeliveredSums> =
+        (0..n).map(|_| UndeliveredSums::new(levels)).collect();
+
     let wall_start = Instant::now();
     for slot in 0..slots {
         let now = slot as f64 * config.slot_duration_s;
@@ -264,37 +302,58 @@ pub fn run_instrumented(
         let build_start = Instant::now();
         link_budgets.clear();
         link_budgets.extend((0..n).map(|u| traces[u].at(now)));
-        engine.begin_slot(server_budget);
+
+        // Sequential pass: resolve each user's FoV request from the cache
+        // and refresh its rate table only on cell/bucket crossings.
         for u in 0..n {
-            let request = library.request_for(&predicted[u]);
-            let delay_model = Mm1Delay::new(link_budgets[u]).expect("trace throughput is positive");
-            let delta = deltas[u].estimate();
-            let tracker = *accumulators[u].tracker();
-            let levels = usize::from(request.rate_table.max_level().get());
-            let tables = engine.add_user(levels, link_budgets[u]);
-            for l in 1..=levels {
-                let q = QualityLevel::new(l as u8);
-                tables.rates[q.index()] = request.rate_table.rate(q);
-                tables.values[q.index()] = if delay_aware {
-                    h_value(
-                        config.params,
-                        delta,
-                        &tracker,
-                        &request.rate_table,
-                        &delay_model,
-                        q,
-                    )
-                } else {
-                    h_value(
-                        config.params,
-                        delta,
-                        &tracker,
-                        &request.rate_table,
-                        &cvr_core::delay::ZeroDelay::new(),
-                        q,
-                    )
-                };
+            let cell = library.grid().cell_of(&predicted[u].position);
+            let tiles = fov_caches[u].tiles_for(&predicted[u]);
+            if !rate_sums[u].targets(cell, tiles) {
+                rate_sums[u].retarget(cell, tiles, plane.rows(cell), &empty_ledger);
             }
+            #[cfg(debug_assertions)]
+            rate_sums[u].assert_matches_ledger(&empty_ledger);
+        }
+
+        // Parallel fill over disjoint per-user table rows.
+        engine.begin_slot(server_budget);
+        engine.add_users(levels, &link_budgets);
+        {
+            let (rates_table, values_table) = engine.staged_tables_mut();
+            let deltas = &deltas;
+            let accumulators = &accumulators;
+            let link_budgets = &link_budgets;
+            let rate_sums = &rate_sums;
+            let params = config.params;
+            crate::parallel::parallel_chunk_pairs(
+                rates_table,
+                values_table,
+                levels,
+                config.build_threads.max(1),
+                |u, rates, values| {
+                    let delay_model =
+                        Mm1Delay::new(link_budgets[u]).expect("trace throughput is positive");
+                    let delta = deltas[u].estimate();
+                    let tracker = *accumulators[u].tracker();
+                    let table = SliceRate(rate_sums[u].sums());
+                    for l in 1..=levels {
+                        let q = QualityLevel::new(l as u8);
+                        rates[q.index()] = table.rate(q);
+                        values[q.index()] = if delay_aware {
+                            h_value(params, delta, &tracker, &table, &delay_model, q)
+                        } else {
+                            h_value(
+                                params,
+                                delta,
+                                &tracker,
+                                &table,
+                                &cvr_core::delay::ZeroDelay::new(),
+                                q,
+                            )
+                        };
+                    }
+                },
+            );
         }
         engine.timers_mut().build.record(build_start.elapsed());
 
@@ -374,6 +433,20 @@ mod tests {
         let a = run(&cfg, AllocatorKind::DensityValueGreedy);
         let b = run(&cfg, AllocatorKind::DensityValueGreedy);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn build_threads_do_not_change_results() {
+        let cfg = small_config(13);
+        let baseline = run(&cfg, AllocatorKind::DensityValueGreedy);
+        for threads in [2, 3] {
+            let threaded = TraceSimConfig {
+                build_threads: threads,
+                ..cfg.clone()
+            };
+            let r = run(&threaded, AllocatorKind::DensityValueGreedy);
+            assert_eq!(r, baseline, "build_threads = {threads} diverged");
+        }
     }
 
     #[test]
