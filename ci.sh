@@ -47,8 +47,11 @@ echo "determinism: outputs byte-for-byte identical"
 
 step "Serve smoke: 2 TCP clients against a live server, 200 slots, zero protocol errors"
 SERVE_PORT=7015
+METRICS_PORT=9091
+cargo build --release -p cvr-serve --bins
 cargo run -p cvr-serve --release --bin cvr-serve -- \
-    --listen "127.0.0.1:$SERVE_PORT" --clients 2 --slots 200 &
+    --listen "127.0.0.1:$SERVE_PORT" --clients 2 --slots 200 \
+    --metrics-addr "127.0.0.1:$METRICS_PORT" &
 SERVE_PID=$!
 cargo run -p cvr-serve --release --bin cvr-client -- \
     --connect "127.0.0.1:$SERVE_PORT" --slots 200 --seed 1 &
@@ -56,6 +59,20 @@ CLIENT1_PID=$!
 cargo run -p cvr-serve --release --bin cvr-client -- \
     --connect "127.0.0.1:$SERVE_PORT" --slots 200 --seed 2 &
 CLIENT2_PID=$!
+# Obs smoke: scrape the live exposition endpoint mid-run and require the
+# core metric families (retrying until the first snapshot is published).
+SCRAPE=""
+for _ in $(seq 1 40); do
+    SCRAPE="$(curl -sf "http://127.0.0.1:$METRICS_PORT/metrics" || true)"
+    if printf '%s' "$SCRAPE" | grep -q cvr_ticks_total; then break; fi
+    sleep 0.25
+done
+for family in cvr_slot_stage_ns_bucket cvr_tick_overruns_total \
+    cvr_session_clients cvr_ticks_total cvr_session_joins_total; do
+    printf '%s' "$SCRAPE" | grep -q "$family" \
+        || { echo "obs smoke: missing $family in scrape"; exit 1; }
+done
+echo "obs smoke: live /metrics scrape contains all required families"
 wait "$CLIENT1_PID"
 wait "$CLIENT2_PID"
 wait "$SERVE_PID"
@@ -66,6 +83,7 @@ cargo run -p cvr-bench --release --bin slot_engine -- --quick
 cargo run -p cvr-bench --release --bin scale -- --quick
 cargo run -p cvr-bench --release --bin serve_bench -- --quick
 cargo run -p cvr-bench --release --bin build_bench -- --quick
+cargo run -p cvr-bench --release --bin obs_bench -- --quick
 cargo run -p cvr-bench --release --bin bench_check
 
 step "CI pipeline passed"

@@ -18,6 +18,9 @@
 //!   ≥ 2× build speedup over the per-slot rederiving path on every
 //!   setup, with solver assignments identical to the reference build at
 //!   every benchmarked thread count.
+//! * `BENCH_obs.json` — metrics + sampled tracing must cost ≤ 2 % of the
+//!   uninstrumented slot loop on every setup, and never change the
+//!   solver's output.
 //!
 //! Run after the benches: `cargo run -p cvr-bench --release --bin bench_check`
 
@@ -29,6 +32,7 @@ const MIN_PARALLEL_SPEEDUP: f64 = 1.5;
 const MIN_PARALLEL_EFFICIENCY: f64 = 0.6;
 const MIN_SERVE_CLIENTS: usize = 8;
 const MIN_SERVE_ONTIME: f64 = 0.95;
+const MAX_OBS_OVERHEAD_PCT: f64 = 2.0;
 
 struct Gate {
     failures: Vec<String>,
@@ -252,6 +256,42 @@ fn check_build(gate: &mut Gate, doc: &Json) {
     }
 }
 
+fn check_obs(gate: &mut Gate, doc: &Json) {
+    let entries = doc
+        .get("entries")
+        .and_then(Json::as_array)
+        .expect("obs JSON has an `entries` array");
+    gate.check(!entries.is_empty(), "obs: at least one setup".to_string());
+    for entry in entries {
+        let name = entry.get("name").and_then(Json::as_str).unwrap_or("?");
+        let overhead = entry
+            .get("overhead_pct")
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN)
+            .max(0.0);
+        let identical = entry
+            .get("assignments_identical")
+            .and_then(Json::as_bool)
+            .unwrap_or(false);
+        let observations = entry
+            .get("observations")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        gate.check(
+            overhead <= MAX_OBS_OVERHEAD_PCT,
+            format!("obs {name}: overhead {overhead:.3}% <= {MAX_OBS_OVERHEAD_PCT}%"),
+        );
+        gate.check(
+            identical,
+            format!("obs {name}: instrumented solver output identical"),
+        );
+        gate.check(
+            observations > 0.0,
+            format!("obs {name}: the instrumented mode actually recorded observations"),
+        );
+    }
+}
+
 fn main() {
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
     let mut gate = Gate {
@@ -263,6 +303,7 @@ fn main() {
     check_parallel(&mut gate, &load(&format!("{root}/BENCH_parallel.json")));
     check_serve(&mut gate, &load(&format!("{root}/BENCH_serve.json")));
     check_build(&mut gate, &load(&format!("{root}/BENCH_build.json")));
+    check_obs(&mut gate, &load(&format!("{root}/BENCH_obs.json")));
 
     println!();
     if gate.failures.is_empty() {

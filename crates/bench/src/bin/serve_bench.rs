@@ -62,7 +62,7 @@ fn run_point(seed: u64, users: usize, slots: u64) -> Entry {
     let avg_rtt_ms = client_reports
         .iter()
         .filter(|r| r.rtt.count > 0)
-        .map(|r| r.rtt.mean_us / 1000.0)
+        .map(|r| r.rtt.mean / 1e6)
         .sum::<f64>()
         / users as f64;
 

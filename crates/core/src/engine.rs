@@ -85,6 +85,13 @@ impl StageClock {
         self.samples_ns.iter().sum()
     }
 
+    /// The most recent sample, in nanoseconds — lets per-slot observers
+    /// (metrics histograms) pick up an engine-internal stage measurement
+    /// right after a `solve` without scanning the whole sample vector.
+    pub fn last_ns(&self) -> Option<u64> {
+        self.samples_ns.last().copied()
+    }
+
     /// Discards all samples.
     pub fn clear(&mut self) {
         self.samples_ns.clear();
@@ -114,6 +121,17 @@ impl EngineTimers {
         self.density.clear();
         self.value.clear();
         self.accounting.clear();
+    }
+
+    /// The stages in pipeline order, with their conventional names —
+    /// the iteration used by reports and metric exporters.
+    pub fn stages(&self) -> [(&'static str, &StageClock); 4] {
+        [
+            ("build", &self.build),
+            ("density", &self.density),
+            ("value", &self.value),
+            ("accounting", &self.accounting),
+        ]
     }
 }
 

@@ -94,7 +94,8 @@ fn main() {
 
     println!(
         "user {}: seed={} welcomed={} assignments={} protocol_errors={} \
-         slots={} avg_viewed_q={:.3} avg_delay={:.2} rtt_p99_us={:.1}",
+         slots={} avg_viewed_q={:.3} avg_delay={:.2} \
+         rtt_us p50={:.1} p95={:.1} p99={:.1}",
         report.user_id,
         report.seed,
         report.welcomed,
@@ -103,7 +104,9 @@ fn main() {
         report.summary.slots,
         report.summary.avg_viewed_quality,
         report.summary.avg_delay,
-        report.rtt.p99_us,
+        report.rtt.p50 / 1e3,
+        report.rtt.p95 / 1e3,
+        report.rtt.p99 / 1e3,
     );
 
     if !report.welcomed {

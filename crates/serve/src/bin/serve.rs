@@ -2,8 +2,13 @@
 //! number of clients, and run a fixed number of 15 ms slots.
 //!
 //! ```text
-//! cvr-serve --listen 127.0.0.1:7015 --clients 2 --slots 200 [--slot-ms 15]
+//! cvr-serve --listen 127.0.0.1:7015 --clients 2 --slots 200 \
+//!     [--slot-ms 15] [--metrics-addr 127.0.0.1:9090]
 //! ```
+//!
+//! With `--metrics-addr`, a background responder serves the session's
+//! metrics registry as Prometheus text (`curl http://ADDR/metrics`),
+//! refreshed every few slots.
 //!
 //! Exits non-zero if any protocol error occurred — the property the CI
 //! smoke job asserts.
@@ -11,15 +16,21 @@
 use std::net::TcpListener;
 use std::time::Duration;
 
+use cvr_serve::expose::MetricsExporter;
 use cvr_serve::server::{ServeConfig, Session};
 use cvr_serve::ticker::{SlotTicker, TickPacing};
 use cvr_serve::transport::TcpServerTransport;
+
+/// Slots between snapshot publishes to the metrics exporter (~0.5 s at
+/// the 15 ms default cadence).
+const METRICS_PUBLISH_EVERY: u64 = 32;
 
 struct Args {
     listen: String,
     clients: usize,
     slots: u64,
     slot_ms: f64,
+    metrics_addr: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -28,6 +39,7 @@ fn parse_args() -> Args {
         clients: 2,
         slots: 200,
         slot_ms: 15.0,
+        metrics_addr: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -40,6 +52,7 @@ fn parse_args() -> Args {
             "--clients" => args.clients = value().parse().expect("--clients"),
             "--slots" => args.slots = value().parse().expect("--slots"),
             "--slot-ms" => args.slot_ms = value().parse().expect("--slot-ms"),
+            "--metrics-addr" => args.metrics_addr = Some(value()),
             other => panic!("unknown flag {other}"),
         }
     }
@@ -54,6 +67,12 @@ fn main() {
     };
     let queue_frames = config.outbound_queue_frames;
     let mut session = Session::new(config.clone());
+
+    let exporter = args.metrics_addr.as_deref().map(|addr| {
+        let exporter = MetricsExporter::bind(addr).expect("bind metrics address");
+        println!("metrics exposed at http://{}/metrics", exporter.addr());
+        exporter
+    });
 
     let listener = TcpListener::bind(&args.listen).expect("bind listener");
     println!(
@@ -71,10 +90,15 @@ fn main() {
     }
 
     let mut ticker = SlotTicker::new(config.slot_duration, TickPacing::Realtime);
-    for _ in 0..args.slots {
+    for slot in 0..args.slots {
         session.step_slot();
         let on_time = ticker.wait();
         session.note_tick(on_time, ticker.last_work_ns());
+        if let Some(exporter) = &exporter {
+            if slot % METRICS_PUBLISH_EVERY == 0 {
+                exporter.publish(session.render_metrics());
+            }
+        }
         // Every expected client joined and then left: nothing left to do.
         if session.counters().joins >= args.clients as u64 && session.active_users() == 0 {
             break;
@@ -82,6 +106,9 @@ fn main() {
     }
     session.shutdown();
     let report = session.report();
+    if let Some(exporter) = &exporter {
+        exporter.publish(session.render_metrics());
+    }
 
     println!(
         "slots={} on_time={:.3} overruns={} joins={} leaves={} protocol_errors={} \
@@ -107,8 +134,14 @@ fn main() {
     );
     for user in &report.users {
         println!(
-            "user {}: seed={} slots={} avg_viewed_q={:.3} delta={:.3}",
-            user.user_id, user.seed, user.qoe.slots, user.qoe.avg_viewed_quality, user.delta
+            "user {}: seed={} slots={} avg_viewed_q={:.3} delta={:.3} dropped={} degrades={}",
+            user.user_id,
+            user.seed,
+            user.qoe.slots,
+            user.qoe.avg_viewed_quality,
+            user.delta,
+            user.frames_dropped,
+            user.degrade_transitions,
         );
     }
 

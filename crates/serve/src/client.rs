@@ -20,7 +20,7 @@ use cvr_core::objective::QoeParams;
 use cvr_core::qoe::{UserQoeAccumulator, UserQoeSummary};
 use cvr_core::quality::QualityLevel;
 use cvr_motion::synthetic::{MotionConfig, MotionGenerator};
-use cvr_sim::metrics::StageStats;
+use cvr_obs::{Histogram, HistogramSummary};
 
 use crate::protocol::{ClientMessage, ServerMessage, PROTOCOL_VERSION};
 use crate::transport::ClientTransport;
@@ -66,8 +66,12 @@ pub struct ClientReport {
     pub seed: u64,
     /// Client-side QoE over the displayed slots.
     pub summary: UserQoeSummary,
-    /// Round-trip time from pose upload to the matching assignment.
-    pub rtt: StageStats,
+    /// Round-trip time from pose upload to the matching assignment —
+    /// histogram summary in nanoseconds, with p50/p95/p99 estimates.
+    pub rtt: HistogramSummary,
+    /// Distribution of displayed quality levels across displayed slots
+    /// (native unit: the quality level, 1 = lowest).
+    pub displayed_quality: HistogramSummary,
     /// Assignments received.
     pub assignments: u64,
     /// Undecodable frames received from the server.
@@ -87,7 +91,8 @@ pub struct ReplayClient<T: ClientTransport> {
     qoe: UserQoeAccumulator,
     /// Pose sequence numbers paired with their send instants, for RTT.
     sent_at: VecDeque<(u64, Instant)>,
-    rtt_ns: Vec<u64>,
+    rtt: Histogram,
+    displayed: Histogram,
     seq: u64,
     user_id: u32,
     /// Quality-ladder depth announced in the Welcome; assignments above
@@ -125,7 +130,10 @@ impl<T: ClientTransport> ReplayClient<T> {
             qoe: UserQoeAccumulator::new(config.params),
             library: ContentLibrary::paper_default(),
             sent_at: VecDeque::new(),
-            rtt_ns: Vec::new(),
+            rtt: Histogram::latency_ns(),
+            // One bucket per plausible ladder level, so the displayed
+            // distribution is exact.
+            displayed: Histogram::new(&[1, 2, 3, 4, 5, 6, 7, 8]),
             seq: 0,
             user_id: u32::MAX,
             levels: 0,
@@ -175,6 +183,7 @@ impl<T: ClientTransport> ReplayClient<T> {
                     .contains(&VideoId::new(request.cell, t, quality))
             });
             self.qoe.record(quality, hit, self.displayed_lag_slots);
+            self.displayed.observe(quality.get() as u64);
         }
 
         // Upload this slot's pose and a jittered bandwidth observation.
@@ -218,8 +227,8 @@ impl<T: ClientTransport> ReplayClient<T> {
                     }
                     if let Some(&(seq, at)) = self.sent_at.front() {
                         if seq == pose_seq {
-                            self.rtt_ns
-                                .push(at.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+                            self.rtt
+                                .observe(at.elapsed().as_nanos().min(u64::MAX as u128) as u64);
                         }
                     }
                     // Store tiles, ACK them, release evictions.
@@ -260,7 +269,8 @@ impl<T: ClientTransport> ReplayClient<T> {
             user_id: self.user_id,
             seed: self.config.seed,
             summary: self.qoe.summary(),
-            rtt: StageStats::from_ns_samples(&self.rtt_ns),
+            rtt: self.rtt.summary(),
+            displayed_quality: self.displayed.summary(),
             assignments: self.assignments,
             protocol_errors: self.protocol_errors,
             welcomed: self.welcomed,

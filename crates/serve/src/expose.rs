@@ -1,0 +1,169 @@
+//! Live metrics exposition: a minimal embedded HTTP responder serving the
+//! session registry as Prometheus text format.
+//!
+//! The exporter follows the same threaded style as the TCP transport
+//! machinery (one background thread, non-blocking accept loop, stop
+//! flag). It deliberately serves *snapshots*: the session renders its
+//! registry to a string at its own cadence and [`MetricsExporter::publish`]es
+//! it — one mutex swap per publish, nothing shared with the per-slot hot
+//! path, and scrapes never block the tick. Any `GET` path answers 200
+//! with `text/plain; version=0.0.4` (the Prometheus exposition content
+//! type); other methods get a 405.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long the accept loop sleeps between polls when idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// Per-connection request read timeout; scrapers that stall longer are
+/// dropped so the accept loop keeps moving.
+const REQUEST_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// A background `/metrics` responder bound to a local address.
+pub struct MetricsExporter {
+    snapshot: Arc<Mutex<Arc<String>>>,
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsExporter {
+    /// Binds `addr` (e.g. `"127.0.0.1:9090"`; port 0 picks a free port)
+    /// and starts the responder thread. Serves an empty body until the
+    /// first [`MetricsExporter::publish`].
+    pub fn bind(addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let snapshot = Arc::new(Mutex::new(Arc::new(String::new())));
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let snapshot = Arc::clone(&snapshot);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("cvr-metrics".into())
+                .spawn(move || accept_loop(listener, snapshot, stop))?
+        };
+        Ok(MetricsExporter {
+            snapshot,
+            stop,
+            addr: local,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Swaps in a freshly rendered exposition body. Cheap for the caller:
+    /// one allocation handoff under a mutex held for a pointer swap.
+    pub fn publish(&self, text: String) {
+        *self.snapshot.lock().expect("exporter mutex poisoned") = Arc::new(text);
+    }
+}
+
+impl Drop for MetricsExporter {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, snapshot: Arc<Mutex<Arc<String>>>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Scrapes are rare (seconds apart) and the body is small;
+                // answering inline keeps the exporter single-threaded.
+                let body = Arc::clone(&snapshot.lock().expect("exporter mutex poisoned"));
+                let _ = serve_one(stream, &body);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// Reads one HTTP/1.x request head and answers it with the snapshot.
+fn serve_one(mut stream: TcpStream, body: &str) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(REQUEST_TIMEOUT))?;
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 512];
+    // Read until the end of the request head; the request body (none for
+    // GET) is ignored.
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+        if head.len() > 8 * 1024 {
+            return Ok(()); // oversized head: drop the connection
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return Ok(()),
+            Ok(n) => head.extend_from_slice(&buf[..n]),
+            Err(e) => return Err(e),
+        }
+    }
+    let request_line = head.split(|&b| b == b'\r').next().unwrap_or_default();
+    let response = if request_line.starts_with(b"GET ") {
+        format!(
+            "HTTP/1.1 200 OK\r\n\
+             Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+             Content-Length: {}\r\n\
+             Connection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )
+    } else {
+        "HTTP/1.1 405 Method Not Allowed\r\nContent-Length: 0\r\nConnection: close\r\n\r\n"
+            .to_string()
+    };
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrape(addr: SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect to exporter");
+        stream.write_all(request.as_bytes()).expect("send request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        response
+    }
+
+    #[test]
+    fn serves_published_snapshots() {
+        let exporter = MetricsExporter::bind("127.0.0.1:0").expect("bind");
+        let addr = exporter.addr();
+        exporter.publish("cvr_ticks_total 42\n".to_string());
+        let response = scrape(addr, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("text/plain; version=0.0.4"));
+        assert!(response.ends_with("cvr_ticks_total 42\n"), "{response}");
+
+        // A later publish replaces the body for the next scrape.
+        exporter.publish("cvr_ticks_total 43\n".to_string());
+        let response = scrape(addr, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(response.ends_with("cvr_ticks_total 43\n"), "{response}");
+    }
+
+    #[test]
+    fn non_get_is_rejected() {
+        let exporter = MetricsExporter::bind("127.0.0.1:0").expect("bind");
+        let response = scrape(
+            exporter.addr(),
+            "POST /metrics HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n",
+        );
+        assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+    }
+}

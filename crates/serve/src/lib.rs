@@ -17,6 +17,8 @@
 //!   a drop-oldest backpressure policy.
 //! * [`server`] — the session/user registry and the per-slot control
 //!   loop, with slow-client degradation and observability counters.
+//! * [`expose`] — a minimal embedded HTTP responder serving the session's
+//!   `cvr-obs` metrics registry as Prometheus text (`--metrics-addr`).
 //! * [`client`] — the headless replay client that stands in for one
 //!   phone, replaying `cvr-motion` synthetic traces.
 //! * [`ticker`] — realtime/immediate slot pacing with deadline
@@ -27,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod expose;
 pub mod harness;
 pub mod protocol;
 pub mod server;

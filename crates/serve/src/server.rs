@@ -37,7 +37,8 @@ use cvr_motion::accuracy::DeltaEstimator;
 use cvr_motion::pose::Pose;
 use cvr_motion::predict::LinearPredictor;
 use cvr_net::estimate::EmaEstimator;
-use cvr_sim::metrics::StageStats;
+use cvr_obs::registry::{CounterId, GaugeId, HistogramId};
+use cvr_obs::{latency_bounds_ns, Registry, StageStats, TraceEvent, Tracer};
 use cvr_sim::system::{sanitize_rates, DELAY_CAP_SLOTS, PIPELINE_SLOTS};
 
 use crate::protocol::{ClientMessage, ServerMessage, PROTOCOL_VERSION};
@@ -93,6 +94,114 @@ impl Default for ServeConfig {
     }
 }
 
+/// The session's metric series and tracer: one registry owned by the
+/// session (no locks — live exposition reads rendered snapshots, see
+/// [`crate::expose::MetricsExporter`]), with handles resolved once at
+/// construction so every hot-path update is a single indexed add.
+struct SessionObs {
+    registry: Registry,
+    tracer: Tracer,
+    h_ingest: HistogramId,
+    h_build: HistogramId,
+    h_density: HistogramId,
+    h_value: HistogramId,
+    h_transmit: HistogramId,
+    h_tick: HistogramId,
+    c_ticks: CounterId,
+    c_on_time: CounterId,
+    c_overruns: CounterId,
+    c_joins: CounterId,
+    c_leaves: CounterId,
+    c_proto: CounterId,
+    c_dropped: CounterId,
+    c_degraded: CounterId,
+    g_clients: GaugeId,
+    g_queue_depth: GaugeId,
+    g_slot: GaugeId,
+}
+
+impl SessionObs {
+    fn new() -> Self {
+        let mut r = Registry::new();
+        let bounds = latency_bounds_ns();
+        let stage = |r: &mut Registry, name: &str| {
+            r.histogram(
+                "cvr_slot_stage_ns",
+                &format!("stage=\"{name}\""),
+                "Per-slot latency of each pipeline stage, nanoseconds",
+                &bounds,
+            )
+        };
+        let h_ingest = stage(&mut r, "ingest");
+        let h_build = stage(&mut r, "build");
+        let h_density = stage(&mut r, "density");
+        let h_value = stage(&mut r, "value");
+        let h_transmit = stage(&mut r, "transmit");
+        let h_tick = stage(&mut r, "tick");
+        let c_ticks = r.counter("cvr_ticks_total", "", "Slots executed");
+        let c_on_time = r.counter("cvr_on_time_ticks_total", "", "Slots that met the deadline");
+        let c_overruns = r.counter(
+            "cvr_tick_overruns_total",
+            "",
+            "Slots whose work ran past the period",
+        );
+        let c_joins = r.counter("cvr_session_joins_total", "", "Users admitted");
+        let c_leaves = r.counter("cvr_session_leaves_total", "", "Users departed");
+        let c_proto = r.counter(
+            "cvr_protocol_errors_total",
+            "",
+            "Corrupt frames, version mismatches, out-of-order handshakes",
+        );
+        let c_dropped = r.counter(
+            "cvr_frames_dropped_total",
+            "",
+            "Frames discarded by outbound backpressure",
+        );
+        let c_degraded = r.counter(
+            "cvr_degraded_transitions_total",
+            "",
+            "Times a user entered the degraded state",
+        );
+        let g_clients = r.gauge("cvr_session_clients", "", "Users currently joined");
+        let g_queue_depth = r.gauge(
+            "cvr_outbound_queue_depth_max",
+            "",
+            "Deepest outbound queue observed on any connection",
+        );
+        let g_slot = r.gauge("cvr_session_slot", "", "Current slot index");
+        SessionObs {
+            registry: r,
+            tracer: Tracer::disabled(),
+            h_ingest,
+            h_build,
+            h_density,
+            h_value,
+            h_transmit,
+            h_tick,
+            c_ticks,
+            c_on_time,
+            c_overruns,
+            c_joins,
+            c_leaves,
+            c_proto,
+            c_dropped,
+            c_degraded,
+            g_clients,
+            g_queue_depth,
+            g_slot,
+        }
+    }
+
+    fn stage(&mut self, id: HistogramId, slot: u64, name: &'static str, ns: u64) {
+        self.registry.observe(id, ns);
+        self.tracer.record(TraceEvent::Stage {
+            slot,
+            stage: name,
+            ns,
+        });
+    }
+}
+
 /// A prediction awaiting the actual pose that scores it.
 #[derive(Debug, Clone, Copy)]
 struct PredictionRecord {
@@ -129,6 +238,9 @@ struct UserState {
     /// Degraded users are pinned to the lowest quality until their
     /// outbound queue drains — the slow-client policy.
     degraded: bool,
+    /// Times this user *entered* the degraded state (recoveries reset the
+    /// flag but not this count).
+    degrade_transitions: u64,
     seed: u64,
 }
 
@@ -156,6 +268,7 @@ impl UserState {
             staleness_slots: 0,
             predictions: VecDeque::new(),
             degraded: false,
+            degrade_transitions: 0,
             seed,
         }
     }
@@ -198,6 +311,10 @@ pub struct UserServerSummary {
     pub delta: f64,
     /// Final bandwidth estimate, Mbps.
     pub bandwidth_mbps: f64,
+    /// Frames this user's outbound queue discarded under backpressure.
+    pub frames_dropped: u64,
+    /// Times this user entered the degraded (lowest-quality) state.
+    pub degrade_transitions: u64,
 }
 
 /// End-of-run session report: counters plus per-stage timing summaries.
@@ -246,6 +363,7 @@ pub struct Session {
     next_user_id: u32,
     slot: u64,
     counters: ServerCounters,
+    obs: SessionObs,
     ingest_clock: StageClock,
     transmit_clock: StageClock,
     tick_clock: StageClock,
@@ -279,6 +397,7 @@ impl Session {
             next_user_id: 0,
             slot: 0,
             counters: ServerCounters::default(),
+            obs: SessionObs::new(),
             ingest_clock: StageClock::default(),
             transmit_clock: StageClock::default(),
             tick_clock: StageClock::default(),
@@ -319,20 +438,71 @@ impl Session {
         &self.counters
     }
 
+    /// The session's metrics registry (stage histograms, lifecycle
+    /// counters, client gauges).
+    pub fn metrics(&self) -> &Registry {
+        &self.obs.registry
+    }
+
+    /// Refreshes the instantaneous gauges and renders the registry in the
+    /// Prometheus text exposition format — the payload the
+    /// [`crate::expose::MetricsExporter`] publishes.
+    pub fn render_metrics(&mut self) -> String {
+        let clients = self.active_users() as i64;
+        self.obs.registry.set_gauge(self.obs.g_clients, clients);
+        self.obs.registry.set_gauge(
+            self.obs.g_queue_depth,
+            self.counters.max_outbound_queue_depth as i64,
+        );
+        self.obs
+            .registry
+            .set_gauge(self.obs.g_slot, self.slot as i64);
+        self.obs.registry.render()
+    }
+
+    /// Enables event tracing with a ring of at most `capacity` records
+    /// (stage timings sampled 1-in-16 to bound the volume; lifecycle
+    /// events are kept unsampled). `capacity = 0` disables tracing.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        let mut tracer = if capacity == 0 {
+            Tracer::disabled()
+        } else {
+            Tracer::with_capacity(capacity)
+        };
+        tracer.set_sample_every(cvr_obs::trace::EventKind::Stage, 16);
+        self.obs.tracer = tracer;
+    }
+
+    /// The event tracer (see [`Session::enable_tracing`]); export with
+    /// [`Tracer::to_jsonl`].
+    pub fn tracer(&self) -> &Tracer {
+        &self.obs.tracer
+    }
+
     /// Executes one slot: ingest → plan → transmit. Does not pace or
     /// account for deadlines — callers own the clock (see
     /// [`Session::run`] and [`Session::note_tick`]).
     pub fn step_slot(&mut self) {
+        self.obs
+            .tracer
+            .record(TraceEvent::SlotStart { slot: self.slot });
+
         let ingest_start = Instant::now();
         self.admit_pending();
         self.ingest();
-        self.ingest_clock.record(ingest_start.elapsed());
+        let ingest_ns = ingest_start.elapsed().as_nanos() as u64;
+        self.ingest_clock.record_ns(ingest_ns);
+        self.obs
+            .stage(self.obs.h_ingest, self.slot, "ingest", ingest_ns);
 
         self.plan();
 
         let transmit_start = Instant::now();
         self.transmit();
-        self.transmit_clock.record(transmit_start.elapsed());
+        let transmit_ns = transmit_start.elapsed().as_nanos() as u64;
+        self.transmit_clock.record_ns(transmit_ns);
+        self.obs
+            .stage(self.obs.h_transmit, self.slot, "transmit", transmit_ns);
 
         self.slot += 1;
     }
@@ -342,12 +512,26 @@ impl Session {
     /// call it directly with `on_time = true`.
     pub fn note_tick(&mut self, on_time: bool, work_ns: u64) {
         self.counters.ticks += 1;
+        self.obs.registry.inc(self.obs.c_ticks, 1);
+        // The slot counter has already advanced past the completed slot.
+        let slot = self.slot.saturating_sub(1);
         if on_time {
             self.counters.on_time_ticks += 1;
+            self.obs.registry.inc(self.obs.c_on_time, 1);
         } else {
             self.counters.tick_overruns += 1;
+            self.obs.registry.inc(self.obs.c_overruns, 1);
+            self.obs
+                .tracer
+                .record(TraceEvent::TickOverrun { slot, work_ns });
         }
         self.tick_clock.record_ns(work_ns);
+        self.obs.registry.observe(self.obs.h_tick, work_ns);
+        self.obs.tracer.record(TraceEvent::SlotEnd {
+            slot,
+            work_ns,
+            on_time,
+        });
     }
 
     /// Runs `slots` slots against the given ticker, accounting each
@@ -366,8 +550,12 @@ impl Session {
             if let Some(mut user) = slot.take() {
                 user.transport.send(&ServerMessage::Shutdown);
                 user.transport.close();
+                self.obs.tracer.record(TraceEvent::ClientLeave {
+                    user_id: user.user_id as u64,
+                });
                 self.departed.push(Self::summarise(&user));
                 self.counters.leaves += 1;
+                self.obs.registry.inc(self.obs.c_leaves, 1);
             }
         }
         for mut t in self.pending.drain(..) {
@@ -402,6 +590,8 @@ impl Session {
             qoe: user.qoe.summary(),
             delta: user.delta.estimate(),
             bandwidth_mbps: user.bandwidth.estimate().unwrap_or(f64::NAN),
+            frames_dropped: user.transport.frames_dropped(),
+            degrade_transitions: user.degrade_transitions,
         }
     }
 
@@ -419,6 +609,10 @@ impl Session {
                     if version != PROTOCOL_VERSION || self.active_users() >= self.config.max_users {
                         if version != PROTOCOL_VERSION {
                             self.counters.protocol_errors += 1;
+                            self.obs.registry.inc(self.obs.c_proto, 1);
+                            self.obs.tracer.record(TraceEvent::ProtocolError {
+                                context: "handshake",
+                            });
                         }
                         transport.send(&ServerMessage::Shutdown);
                         transport.close();
@@ -434,6 +628,10 @@ impl Session {
                 Some(_) => {
                     // Anything else before the handshake is a violation.
                     self.counters.protocol_errors += 1;
+                    self.obs.registry.inc(self.obs.c_proto, 1);
+                    self.obs.tracer.record(TraceEvent::ProtocolError {
+                        context: "pre-handshake",
+                    });
                     transport.close();
                     false
                 }
@@ -473,6 +671,10 @@ impl Session {
             seed,
         ));
         self.counters.joins += 1;
+        self.obs.registry.inc(self.obs.c_joins, 1);
+        self.obs.tracer.record(TraceEvent::ClientJoin {
+            user_id: user_id as u64,
+        });
     }
 
     /// Drains every joined user's upstream queue.
@@ -532,12 +734,20 @@ impl Session {
             }
             if violation {
                 self.counters.protocol_errors += 1;
+                self.obs.registry.inc(self.obs.c_proto, 1);
+                self.obs
+                    .tracer
+                    .record(TraceEvent::ProtocolError { context: "ingest" });
                 leave = true;
             }
             if leave || user.transport.is_closed() {
                 user.transport.close();
+                self.obs.tracer.record(TraceEvent::ClientLeave {
+                    user_id: user.user_id as u64,
+                });
                 self.departed.push(Self::summarise(&user));
                 self.counters.leaves += 1;
+                self.obs.registry.inc(self.obs.c_leaves, 1);
             } else {
                 self.users[id] = Some(user);
             }
@@ -632,10 +842,21 @@ impl Session {
                 },
             );
         }
-        self.engine.timers_mut().build.record(build_start.elapsed());
+        let build_ns = build_start.elapsed().as_nanos() as u64;
+        self.engine.timers_mut().build.record_ns(build_ns);
+        self.obs
+            .stage(self.obs.h_build, self.slot, "build", build_ns);
 
         if !self.plan_ids.is_empty() {
             self.engine.solve();
+            // `solve` records exactly one sample per internal pass, so the
+            // freshest sample is this slot's measurement.
+            if let Some(ns) = self.engine.timers().density.last_ns() {
+                self.obs.stage(self.obs.h_density, self.slot, "density", ns);
+            }
+            if let Some(ns) = self.engine.timers().value.last_ns() {
+                self.obs.stage(self.obs.h_value, self.slot, "value", ns);
+            }
         }
     }
 
@@ -685,20 +906,41 @@ impl Session {
                         && depth <= user.transport.queue_capacity() / 2
                     {
                         user.degraded = false;
+                        self.obs.tracer.record(TraceEvent::Degrade {
+                            user_id: user.user_id as u64,
+                            degraded: false,
+                        });
                     }
                 }
                 SendStatus::DroppedOldest(n) => {
                     self.counters.frames_dropped += n as u64;
+                    self.obs.registry.inc(self.obs.c_dropped, n as u64);
+                    self.obs.tracer.record(TraceEvent::QueueDrop {
+                        user_id: user.user_id as u64,
+                        dropped: n as u64,
+                    });
                     if !user.degraded {
                         user.degraded = true;
+                        user.degrade_transitions += 1;
                         self.counters.degraded_transitions += 1;
+                        self.obs.registry.inc(self.obs.c_degraded, 1);
+                        self.obs.tracer.record(TraceEvent::Degrade {
+                            user_id: user.user_id as u64,
+                            degraded: true,
+                        });
                     }
                 }
                 SendStatus::Closed => continue,
             }
             if user.transport.is_stalled() && !user.degraded {
                 user.degraded = true;
+                user.degrade_transitions += 1;
                 self.counters.degraded_transitions += 1;
+                self.obs.registry.inc(self.obs.c_degraded, 1);
+                self.obs.tracer.record(TraceEvent::Degrade {
+                    user_id: user.user_id as u64,
+                    degraded: true,
+                });
             }
 
             if user.has_pose {

@@ -4,7 +4,9 @@
 
 use cvr_serve::client::{ClientConfig, ClientReport};
 use cvr_serve::harness::{loopback_fleet, run_lockstep};
+use cvr_serve::protocol::{ClientMessage, PROTOCOL_VERSION};
 use cvr_serve::server::{ServeConfig, ServeReport};
+use cvr_serve::transport::{loopback, ClientTransport};
 
 const SLOTS: u64 = 300;
 
@@ -81,5 +83,84 @@ fn lockstep_run_is_healthy() {
     for user in &server.users {
         assert!(user.delta > 0.0 && user.delta <= 1.0);
         assert!(user.bandwidth_mbps > 0.0);
+        // A healthy fleet drains its queues: the per-user backpressure
+        // fields surface in the summary and read zero here.
+        assert_eq!(user.frames_dropped, 0);
+        assert_eq!(user.degrade_transitions, 0);
     }
+}
+
+/// The end-of-run summary must surface what the counters only counted
+/// before: ticker overruns, per-user queue drops, and degrade
+/// transitions — and the same numbers must appear in the scrapeable
+/// metrics text.
+#[test]
+fn summary_surfaces_overruns_drops_and_degrades() {
+    // A healthy lockstep fleet plus one "stuck" client whose loopback
+    // queue is tiny and never drained: its assignments pile up, drop,
+    // and degrade it.
+    let config = ServeConfig::default();
+    let (mut session, mut clients) = loopback_fleet(config, &fleet_configs()[..2]);
+    session.enable_tracing(512);
+    let (stuck_server_end, mut stuck_client) = loopback(3);
+    session.add_connection(Box::new(stuck_server_end));
+    stuck_client.send(&ClientMessage::Hello {
+        version: PROTOCOL_VERSION,
+        seed: 99,
+    });
+
+    for slot in 0..60u64 {
+        for client in &mut clients {
+            client.step_slot();
+        }
+        session.step_slot();
+        // The lockstep clock is ours: miss every tenth deadline so the
+        // overrun path is exercised.
+        let on_time = slot % 10 != 9;
+        session.note_tick(on_time, 2_000_000);
+    }
+    session.shutdown();
+
+    let metrics = session.render_metrics();
+    let report = session.report();
+
+    // Overruns: counted AND reported.
+    assert_eq!(report.counters.tick_overruns, 6);
+    assert!(metrics.contains("cvr_tick_overruns_total 6"), "{metrics}");
+
+    // The stuck user's drops and degrade transitions surface per user.
+    let stuck = report
+        .users
+        .iter()
+        .find(|u| u.seed == 99)
+        .expect("stuck user joined");
+    assert!(stuck.frames_dropped > 0);
+    assert!(stuck.degrade_transitions >= 1);
+    // Per-user drops are at least what the transmit path counted.
+    let per_user_drops: u64 = report.users.iter().map(|u| u.frames_dropped).sum();
+    assert!(per_user_drops >= report.counters.frames_dropped);
+    assert!(report.counters.frames_dropped > 0);
+    assert!(report.counters.degraded_transitions >= 1);
+
+    // The same families are scrapeable: slot-stage histograms, overrun
+    // counters, client gauges — what the obs-smoke CI step greps for.
+    for family in [
+        "cvr_slot_stage_ns_bucket{stage=\"build\"",
+        "cvr_slot_stage_ns_bucket{stage=\"ingest\"",
+        "cvr_ticks_total 60",
+        "cvr_frames_dropped_total",
+        "cvr_degraded_transitions_total",
+        "cvr_session_clients",
+        "cvr_session_joins_total 3",
+    ] {
+        assert!(metrics.contains(family), "missing {family} in:\n{metrics}");
+    }
+
+    // The tracer saw the lifecycle: drops, degrades, and overruns all
+    // export as typed JSONL events.
+    let trace = session.tracer().to_jsonl();
+    assert!(trace.contains("\"kind\":\"queue_drop\""), "{trace}");
+    assert!(trace.contains("\"kind\":\"degrade\""), "{trace}");
+    assert!(trace.contains("\"kind\":\"tick_overrun\""), "{trace}");
+    assert!(trace.contains("\"kind\":\"client_join\""), "{trace}");
 }

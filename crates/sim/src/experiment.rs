@@ -11,11 +11,20 @@
 
 use std::collections::BTreeMap;
 
+use cvr_obs::Registry;
+
 use crate::allocators::AllocatorKind;
 use crate::metrics::MetricDistributions;
 use crate::parallel::{self, RunSpec};
 use crate::system::{self, SystemConfig, SystemRunResult};
 use crate::tracesim::{self, RunResult, TraceSimConfig};
+
+/// Bucket bounds for the per-run mean-quality histogram, in milli-levels
+/// (a 7-level ladder spans 1000..7000).
+const QUALITY_MILLI_BOUNDS: [u64; 7] = [1000, 2000, 3000, 4000, 5000, 6000, 7000];
+
+/// Bucket bounds for the per-run mean-delay histogram, in milli-slots.
+const DELAY_MILLI_BOUNDS: [u64; 8] = [500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000];
 
 /// Figs. 2/3: per-algorithm CDFs of the four metrics across `runs`
 /// independent trace-simulation runs.
@@ -25,15 +34,23 @@ pub struct TraceExperimentResult {
     pub per_algorithm: BTreeMap<&'static str, MetricDistributions>,
     /// Mean fractional upper bound across runs (0 unless requested).
     pub mean_fractional_bound: f64,
+    /// The experiment's metrics registry: per-algorithm run counters and
+    /// quality/delay histograms. Only deterministic quantities are
+    /// registered (never wall-clock timings), and per-worker registries
+    /// merge in chunk order, so this field — like the rest of the result —
+    /// is bit-identical at every thread count.
+    pub registry: Registry,
 }
 
 /// Per-worker accumulator for the trace experiment: metric distributions
 /// per algorithm plus the per-run fractional bounds (kept as a sequence so
-/// the final sum happens in run order, independent of chunking).
+/// the final sum happens in run order, independent of chunking), plus a
+/// per-worker `cvr-obs` registry merged in the same chunk order.
 #[derive(Default)]
 struct TraceAccumulator {
     per_algorithm: BTreeMap<&'static str, MetricDistributions>,
     bounds: Vec<f64>,
+    registry: Registry,
 }
 
 impl TraceAccumulator {
@@ -51,6 +68,27 @@ impl TraceAccumulator {
             if r.mean_fractional_bound != 0.0 {
                 self.bounds.push(r.mean_fractional_bound);
             }
+            let labels = format!("algo=\"{}\"", r.label);
+            let runs =
+                self.registry
+                    .counter("cvr_sim_runs_total", &labels, "Simulation runs completed");
+            self.registry.inc(runs, 1);
+            let quality = self.registry.histogram(
+                "cvr_sim_run_quality_milli",
+                &labels,
+                "Per-run mean viewed quality, milli-levels",
+                &QUALITY_MILLI_BOUNDS,
+            );
+            self.registry
+                .observe_f64(quality, r.summary.avg_quality * 1000.0);
+            let delay = self.registry.histogram(
+                "cvr_sim_run_delay_milli_slots",
+                &labels,
+                "Per-run mean delivery delay, milli-slots",
+                &DELAY_MILLI_BOUNDS,
+            );
+            self.registry
+                .observe_f64(delay, r.summary.avg_delay * 1000.0);
         }
     }
 
@@ -59,6 +97,7 @@ impl TraceAccumulator {
             self.per_algorithm.entry(label).or_default().merge(&dists);
         }
         self.bounds.extend_from_slice(&other.bounds);
+        self.registry.merge(&other.registry);
     }
 }
 
@@ -100,6 +139,7 @@ pub fn trace_experiment_threaded(
     TraceExperimentResult {
         per_algorithm: acc.per_algorithm,
         mean_fractional_bound,
+        registry: acc.registry,
     }
 }
 
@@ -210,9 +250,21 @@ mod tests {
         };
         let kinds = [AllocatorKind::DensityValueGreedy, AllocatorKind::Firefly];
         let serial = trace_experiment_threaded(&base, &kinds, 6, Some(1));
+        // Metrics are enabled and populated — the equality below therefore
+        // also proves the chunk-order registry merge is deterministic.
+        assert!(!serial.registry.is_empty());
+        match serial.registry.get("cvr_sim_runs_total", "algo=\"ours\"") {
+            Some(cvr_obs::registry::Value::Counter(n)) => assert_eq!(*n, 6),
+            other => panic!("missing run counter: {other:?}"),
+        }
         for threads in [2, 3, 4, 6, 16] {
             let parallel = trace_experiment_threaded(&base, &kinds, 6, Some(threads));
             assert_eq!(parallel, serial, "{threads} threads diverged");
+            assert_eq!(
+                parallel.registry.render(),
+                serial.registry.render(),
+                "{threads}-thread registry text diverged"
+            );
         }
     }
 

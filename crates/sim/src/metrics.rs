@@ -275,84 +275,10 @@ impl MetricDistributions {
     }
 }
 
-/// Latency summary of one hot-path stage across a run's slots, derived
-/// from a [`StageClock`](cvr_core::engine::StageClock)'s raw samples.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
-pub struct StageStats {
-    /// Number of recorded executions.
-    pub count: usize,
-    /// Total time spent in the stage, in milliseconds.
-    pub total_ms: f64,
-    /// Mean execution time, in microseconds.
-    pub mean_us: f64,
-    /// Median (p50) execution time, in microseconds (nearest-rank).
-    pub p50_us: f64,
-    /// 99th-percentile execution time, in microseconds (nearest-rank).
-    pub p99_us: f64,
-}
-
-impl StageStats {
-    /// Snapshots a [`StageClock`](cvr_core::engine::StageClock) into
-    /// summary statistics without consuming its samples. This is the
-    /// public bridge that lets consumers *outside* the simulators (the
-    /// live server runtime, ad-hoc harnesses) reuse the hot-path timing
-    /// machinery.
-    pub fn from_clock(clock: &cvr_core::engine::StageClock) -> Self {
-        StageStats::from_ns_samples(clock.samples_ns())
-    }
-
-    /// Snapshots a clock and resets it — the windowed-observability
-    /// pattern: summarise the stage's samples since the last snapshot,
-    /// then start a fresh window.
-    pub fn take(clock: &mut cvr_core::engine::StageClock) -> Self {
-        let stats = StageStats::from_clock(clock);
-        clock.clear();
-        stats
-    }
-
-    /// Summarises raw per-slot samples (nanoseconds, as recorded by a
-    /// `StageClock`). Zero stats when the stage never ran.
-    pub fn from_ns_samples(samples_ns: &[u64]) -> Self {
-        if samples_ns.is_empty() {
-            return StageStats::default();
-        }
-        let mut sorted: Vec<u64> = samples_ns.to_vec();
-        sorted.sort_unstable();
-        let total_ns: u64 = sorted.iter().sum();
-        let nearest = |q: f64| -> f64 {
-            let idx = ((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
-            sorted[idx] as f64 / 1e3
-        };
-        StageStats {
-            count: sorted.len(),
-            total_ms: total_ns as f64 / 1e6,
-            mean_us: total_ns as f64 / 1e3 / sorted.len() as f64,
-            p50_us: nearest(0.5),
-            p99_us: nearest(0.99),
-        }
-    }
-
-    /// Aggregates another worker's stage stats into this one. Counts and
-    /// totals are exact; the mean is recomputed from them; p50/p99 are
-    /// count-weighted averages of the per-worker quantiles (raw samples
-    /// are gone after summarisation, so cross-worker quantiles are
-    /// necessarily approximate — fine for capacity reports).
-    pub fn merge(&mut self, other: &StageStats) {
-        if other.count == 0 {
-            return;
-        }
-        if self.count == 0 {
-            *self = other.clone();
-            return;
-        }
-        let (a, b) = (self.count as f64, other.count as f64);
-        self.p50_us = (self.p50_us * a + other.p50_us * b) / (a + b);
-        self.p99_us = (self.p99_us * a + other.p99_us * b) / (a + b);
-        self.count += other.count;
-        self.total_ms += other.total_ms;
-        self.mean_us = self.total_ms * 1e3 / self.count as f64;
-    }
-}
+/// The shared hot-path latency summary, now owned by `cvr-obs` (so
+/// runtime crates don't need a simulator for timing structs); re-exported
+/// here for compatibility with pre-obs callers.
+pub use cvr_obs::StageStats;
 
 /// Per-stage timing of a run's slot hot path — the instrumented output of
 /// the slot engine, reported by `run_instrumented` and the benchmark

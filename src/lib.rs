@@ -14,6 +14,8 @@
 //! * [`cvr_content`] (`content`) — tiles, grid world, sizing, caching;
 //! * [`cvr_motion`] (`motion`) — poses, FoV, synthetic traces, prediction;
 //! * [`cvr_net`] (`net`) — throughput traces, queueing, estimators, channels;
+//! * [`cvr_obs`] (`obs`) — observability: metrics registry with
+//!   deterministic merges, event tracer, Prometheus text rendering;
 //! * [`cvr_render`] (`render`) — online GPU render/encode farm (§VIII future work);
 //! * [`cvr_sim`] (`sim`) — trace-based and full-system simulators;
 //! * [`cvr_serve`] (`serve`) — live edge-server runtime: sessions, wire
@@ -49,6 +51,7 @@ pub use cvr_content as content;
 pub use cvr_core as core;
 pub use cvr_motion as motion;
 pub use cvr_net as net;
+pub use cvr_obs as obs;
 pub use cvr_render as render;
 pub use cvr_serve as serve;
 pub use cvr_sim as sim;
@@ -65,6 +68,7 @@ pub mod prelude {
         EmaEstimator, InterferenceMode, PolyRegression, ThroughputTrace, TraceGeneratorConfig,
         TraceProfile, WirelessRouter,
     };
+    pub use cvr_obs::{Histogram, HistogramSummary, Registry, StageStats, TraceEvent, Tracer};
     pub use cvr_sim::{
         system_experiment, system_experiment_threaded, trace_experiment, trace_experiment_threaded,
         AllocatorKind, SystemConfig, TraceSimConfig,
