@@ -45,22 +45,20 @@ cargo run -p cvr-bench --release --bin fig7 -- --runs 4 --duration 5 --csv "$DET
 diff -r "$DET_DIR/t1" "$DET_DIR/t4"
 echo "determinism: outputs byte-for-byte identical"
 
-step "Serve smoke: 2 TCP clients against a live server, 200 slots, zero protocol errors"
+step "Serve smoke: 8 TCP clients over 4 sessions on 2 shards, 200 slots, zero protocol errors"
 SERVE_PORT=7015
 METRICS_PORT=9091
 cargo build --release -p cvr-serve --bins
 cargo run -p cvr-serve --release --bin cvr-serve -- \
-    --listen "127.0.0.1:$SERVE_PORT" --clients 2 --slots 200 \
-    --metrics-addr "127.0.0.1:$METRICS_PORT" &
+    --listen "127.0.0.1:$SERVE_PORT" --clients 8 --sessions 4 --shards 2 \
+    --slots 200 --metrics-addr "127.0.0.1:$METRICS_PORT" &
 SERVE_PID=$!
 cargo run -p cvr-serve --release --bin cvr-client -- \
-    --connect "127.0.0.1:$SERVE_PORT" --slots 200 --seed 1 &
-CLIENT1_PID=$!
-cargo run -p cvr-serve --release --bin cvr-client -- \
-    --connect "127.0.0.1:$SERVE_PORT" --slots 200 --seed 2 &
-CLIENT2_PID=$!
+    --connect "127.0.0.1:$SERVE_PORT" --count 8 --slots 200 --seed 1 &
+CLIENT_PID=$!
 # Obs smoke: scrape the live exposition endpoint mid-run and require the
-# core metric families (retrying until the first snapshot is published).
+# core metric families — including the per-shard session gauges of the
+# merged multi-session snapshot (retrying until the first publish).
 SCRAPE=""
 for _ in $(seq 1 40); do
     SCRAPE="$(curl -sf "http://127.0.0.1:$METRICS_PORT/metrics" || true)"
@@ -68,15 +66,15 @@ for _ in $(seq 1 40); do
     sleep 0.25
 done
 for family in cvr_slot_stage_ns_bucket cvr_tick_overruns_total \
-    cvr_session_clients cvr_ticks_total cvr_session_joins_total; do
-    printf '%s' "$SCRAPE" | grep -q "$family" \
+    cvr_session_clients cvr_ticks_total cvr_session_joins_total \
+    'cvr_shard_sessions{shard="0"} 2' 'cvr_shard_sessions{shard="1"} 2'; do
+    printf '%s' "$SCRAPE" | grep -qF "$family" \
         || { echo "obs smoke: missing $family in scrape"; exit 1; }
 done
 echo "obs smoke: live /metrics scrape contains all required families"
-wait "$CLIENT1_PID"
-wait "$CLIENT2_PID"
+wait "$CLIENT_PID"
 wait "$SERVE_PID"
-echo "serve smoke: server and both clients exited cleanly"
+echo "serve smoke: server and all 8 clients exited cleanly"
 
 step "Bench gate"
 cargo run -p cvr-bench --release --bin slot_engine -- --quick

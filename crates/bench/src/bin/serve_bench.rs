@@ -1,12 +1,21 @@
-//! Live-server benchmark: boots a `cvr-serve` session over loopback
-//! transports, paces it with a real 15 ms slot ticker while a driver
-//! thread replays synthetic motion traces for a sweep of client counts,
-//! and writes `BENCH_serve.json` at the repository root for the CI bench
-//! gate (`bench_check`).
+//! Live-server benchmark: two tiers, both written into
+//! `BENCH_serve.json` at the repository root for the CI bench gate
+//! (`bench_check`).
 //!
+//! **Single-session tier** — boots one `cvr-serve` session over loopback
+//! transports, paces it with a real 15 ms slot ticker while a driver
+//! thread replays synthetic motion traces for a sweep of client counts.
 //! The gated claims are the paper's liveness requirements: the slot loop
 //! must keep meeting its deadline as the classroom grows (≥ 8 clients at
 //! ≥ 95 % on-time ticks) with zero protocol errors end to end.
+//!
+//! **Multi-session tier** — boots a sharded `ShardHost` with 64
+//! classrooms (512 clients total) on loopback, shard count matched to
+//! the host's cores, and measures whether the amortised per-shard tick
+//! loops keep the whole fleet on time. The gated claims: every
+//! handshake completes, zero protocol errors, and ≥ 95 % on-time ticks
+//! across the fleet. `available_parallelism` is recorded in the JSON
+//! for context (shard count tracks it).
 //!
 //! Run: `cargo run -p cvr-bench --release --bin serve_bench [--quick]`
 
@@ -14,13 +23,18 @@ use std::time::Duration;
 
 use cvr_bench::{f3, print_header, print_row, FigureArgs};
 use cvr_serve::client::ClientConfig;
-use cvr_serve::harness::{loopback_fleet, run_realtime};
+use cvr_serve::harness::{loopback_fleet, run_host_realtime, run_realtime, sharded_loopback_fleet};
 use cvr_serve::server::ServeConfig;
+use cvr_serve::shard::HostConfig;
 
 /// Slot period, matching the paper's 15 ms upload/render cadence.
 const SLOT: Duration = Duration::from_millis(15);
 
-/// One measured sweep point.
+/// Multi-session tier size: the "many classrooms on one host" claim.
+const MS_SESSIONS: usize = 64;
+const MS_CLIENTS_PER_SESSION: usize = 8;
+
+/// One measured single-session sweep point.
 struct Entry {
     users: usize,
     slots: u64,
@@ -31,6 +45,20 @@ struct Entry {
     frames_dropped: u64,
     avg_displayed_quality: f64,
     avg_rtt_ms: f64,
+}
+
+/// One measured multi-session point.
+struct MsEntry {
+    sessions: usize,
+    shards: usize,
+    clients: usize,
+    slots: u64,
+    on_time_fraction: f64,
+    worst_session_on_time: f64,
+    max_p99_tick_us: f64,
+    protocol_errors: u64,
+    frames_dropped: u64,
+    avg_displayed_quality: f64,
 }
 
 fn run_point(seed: u64, users: usize, slots: u64) -> Entry {
@@ -79,10 +107,79 @@ fn run_point(seed: u64, users: usize, slots: u64) -> Entry {
     }
 }
 
+fn run_multi_session(seed: u64, shards: usize, drivers: usize, slots: u64) -> MsEntry {
+    let total_clients = MS_SESSIONS * MS_CLIENTS_PER_SESSION;
+    let client_configs: Vec<ClientConfig> = (0..total_clients)
+        .map(|u| ClientConfig {
+            seed: seed ^ (0xC1A55 << 12) ^ u as u64,
+            slot_duration_s: SLOT.as_secs_f64(),
+            bandwidth_mbps: 40.0 + 4.0 * (u % 8) as f64,
+            ..ClientConfig::default()
+        })
+        .collect();
+    let (host, clients) = sharded_loopback_fleet(
+        HostConfig {
+            shards,
+            session: ServeConfig {
+                slot_duration: SLOT,
+                ..ServeConfig::default()
+            },
+        },
+        MS_SESSIONS,
+        &client_configs,
+    );
+    let (session_reports, client_reports) = run_host_realtime(host, clients, slots, SLOT, drivers);
+
+    let welcomed = client_reports.iter().filter(|r| r.welcomed).count();
+    assert_eq!(
+        welcomed, total_clients,
+        "every client must complete the handshake"
+    );
+    let client_errors: u64 = client_reports.iter().map(|r| r.protocol_errors).sum();
+    let avg_displayed_quality = client_reports
+        .iter()
+        .map(|r| r.summary.avg_viewed_quality)
+        .sum::<f64>()
+        / total_clients as f64;
+
+    let mut ticks = 0u64;
+    let mut on_time_ticks = 0u64;
+    let mut protocol_errors = client_errors;
+    let mut frames_dropped = 0u64;
+    let mut worst_session_on_time = 1.0f64;
+    let mut max_p99_tick_us = 0.0f64;
+    for (_, report) in &session_reports {
+        ticks += report.counters.ticks;
+        on_time_ticks += report.counters.on_time_ticks;
+        protocol_errors += report.counters.protocol_errors;
+        frames_dropped += report.counters.frames_dropped;
+        worst_session_on_time = worst_session_on_time.min(report.on_time_fraction());
+        max_p99_tick_us = max_p99_tick_us.max(report.tick.p99_us);
+    }
+
+    MsEntry {
+        sessions: MS_SESSIONS,
+        shards,
+        clients: total_clients,
+        slots,
+        on_time_fraction: if ticks == 0 {
+            1.0
+        } else {
+            on_time_ticks as f64 / ticks as f64
+        },
+        worst_session_on_time,
+        max_p99_tick_us,
+        protocol_errors,
+        frames_dropped,
+        avg_displayed_quality,
+    }
+}
+
 fn main() {
     let args = FigureArgs::parse();
     // 400 slots × 15 ms = 6 s of wall time per sweep point at full scale.
     let slots = args.runs_or(400).max(120) as u64;
+    let available = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     println!("# Live server (loopback, realtime {SLOT:?} slots) — {slots} slots per point\n");
     print_header(&[
@@ -106,6 +203,36 @@ fn main() {
     }
     println!();
 
+    // Multi-session tier: shards matched to cores (capped at 8), client
+    // drivers likewise. The tier runs fewer slots — 64 sessions of
+    // realtime pacing is expensive wall-clock-wise and the deadline
+    // statistics converge quickly.
+    let shards = available.clamp(1, 8);
+    let drivers = available.clamp(1, 8);
+    let ms_slots = (slots / 2).max(120);
+    println!(
+        "# Multi-session host: {MS_SESSIONS} sessions x {MS_CLIENTS_PER_SESSION} clients, \
+         {shards} shards, {drivers} client drivers, {ms_slots} slots \
+         (available_parallelism = {available})\n"
+    );
+    print_header(&[
+        "sessions", "shards", "clients", "on-time", "worst", "p99 us", "proto", "dropped",
+        "quality",
+    ]);
+    let ms = run_multi_session(args.seed, shards, drivers, ms_slots);
+    print_row(&[
+        ms.sessions.to_string(),
+        ms.shards.to_string(),
+        ms.clients.to_string(),
+        f3(ms.on_time_fraction),
+        f3(ms.worst_session_on_time),
+        f3(ms.max_p99_tick_us),
+        ms.protocol_errors.to_string(),
+        ms.frames_dropped.to_string(),
+        f3(ms.avg_displayed_quality),
+    ]);
+    println!();
+
     let rows: Vec<String> = entries
         .iter()
         .map(|e| {
@@ -126,12 +253,31 @@ fn main() {
             )
         })
         .collect();
+    let ms_row = format!(
+        "    {{\"sessions\": {}, \"shards\": {}, \"clients\": {}, \"slots\": {}, \
+         \"on_time_fraction\": {:.4}, \"worst_session_on_time\": {:.4}, \
+         \"max_p99_tick_us\": {:.2}, \"protocol_errors\": {}, \"frames_dropped\": {}, \
+         \"avg_displayed_quality\": {:.3}}}",
+        ms.sessions,
+        ms.shards,
+        ms.clients,
+        ms.slots,
+        ms.on_time_fraction,
+        ms.worst_session_on_time,
+        ms.max_p99_tick_us,
+        ms.protocol_errors,
+        ms.frames_dropped,
+        ms.avg_displayed_quality
+    );
     let json = format!(
         "{{\n  \"bench\": \"serve_loopback\",\n  \"slot_ms\": {:.1},\n  \"slots\": {},\n  \
-         \"entries\": [\n{}\n  ]\n}}\n",
+         \"available_parallelism\": {},\n  \"entries\": [\n{}\n  ],\n  \
+         \"multi_session\": [\n{}\n  ]\n}}\n",
         SLOT.as_secs_f64() * 1000.0,
         slots,
-        rows.join(",\n")
+        available,
+        rows.join(",\n"),
+        ms_row
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
     std::fs::write(out, &json).expect("write benchmark JSON");

@@ -103,6 +103,22 @@ impl ServerTileCache {
         self.clock += 1;
         self.resident.insert(id, self.clock);
         self.order.push_back((id, self.clock));
+        // The lazy queue grows by one entry per touch and is only drained
+        // by evictions — a cache whose working set fits would otherwise
+        // grow it forever. Compact once it exceeds twice the capacity:
+        // amortised O(1) per touch, and the queue stays O(capacity).
+        if self.order.len() > 2 * self.capacity {
+            self.compact();
+        }
+    }
+
+    /// Drops stale recency entries (superseded by a later touch or
+    /// evicted), keeping only each resident tile's freshest entry. Queue
+    /// order is preserved, so LRU order is unchanged.
+    fn compact(&mut self) {
+        let resident = &self.resident;
+        self.order
+            .retain(|(id, queued_at)| resident.get(id) == Some(queued_at));
     }
 
     fn evict_lru(&mut self) {
@@ -122,6 +138,14 @@ impl ServerTileCache {
     /// Whether a tile is resident.
     pub fn contains(&self, id: &VideoId) -> bool {
         self.resident.contains_key(id)
+    }
+
+    /// Length of the internal lazy recency queue — exposed so tests (and
+    /// capacity planning) can assert it stays bounded at
+    /// O(`capacity`) under hit-heavy workloads instead of growing by one
+    /// entry per fetch forever.
+    pub fn recency_queue_len(&self) -> usize {
+        self.order.len()
     }
 
     /// `(hits, misses)` counters.
@@ -510,6 +534,44 @@ mod tests {
         c.insert(id(0, 0, 1));
         assert_eq!(c.stats(), (0, 0));
         assert_eq!(c.fetch(id(0, 0, 1)), CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn recency_queue_stays_bounded_under_hit_heavy_workload() {
+        // Regression test for the unbounded-queue leak: every hit pushes a
+        // recency entry, but stale entries were only drained inside
+        // `evict_lru`, which never runs while the working set fits — so an
+        // under-capacity cache grew its queue by one entry per fetch
+        // forever. Hammer hits on a working set far below capacity and
+        // assert the queue stays O(capacity), not O(fetches).
+        let capacity = 16;
+        let mut c = ServerTileCache::new(capacity);
+        for round in 0..10_000u32 {
+            let x = (round % 4) as i32;
+            c.fetch(id(x, 0, 1));
+            assert!(
+                c.recency_queue_len() <= 2 * capacity + 1,
+                "queue grew to {} entries after {} fetches",
+                c.recency_queue_len(),
+                round + 1
+            );
+        }
+        assert_eq!(c.len(), 4);
+        // LRU semantics survive compaction: the least recently touched of
+        // the four is still the one evicted when the cache later fills.
+        let mut c = ServerTileCache::new(3);
+        for _ in 0..1000 {
+            c.fetch(id(0, 0, 1));
+            c.fetch(id(1, 0, 1));
+            c.fetch(id(2, 0, 1));
+        }
+        c.fetch(id(1, 0, 1));
+        c.fetch(id(2, 0, 1));
+        c.fetch(id(3, 0, 1)); // evicts id 0, the LRU
+        assert!(!c.contains(&id(0, 0, 1)));
+        assert!(c.contains(&id(1, 0, 1)));
+        assert!(c.contains(&id(2, 0, 1)));
+        assert!(c.contains(&id(3, 0, 1)));
     }
 
     #[test]

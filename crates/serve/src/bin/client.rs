@@ -1,11 +1,17 @@
-//! `cvr-client`: connect a headless trace-replay client to a running
-//! `cvr-serve` instance over TCP.
+//! `cvr-client`: connect one or more headless trace-replay clients to a
+//! running `cvr-serve` instance over TCP.
 //!
 //! ```text
-//! cvr-client --connect 127.0.0.1:7015 --slots 200 [--seed 1] [--slot-ms 15]
+//! cvr-client --connect 127.0.0.1:7015 --slots 200 \
+//!     [--count 1] [--seed 1] [--slot-ms 15]
 //! ```
 //!
-//! Exits non-zero if the handshake never completed or any protocol
+//! With `--count N`, one process drives `N` independent connections
+//! (seeds `seed..seed+N`) off a single slot ticker — how the bench and
+//! smoke harnesses stand up hundreds of clients without hundreds of
+//! processes.
+//!
+//! Exits non-zero if any handshake never completed or any protocol
 //! error occurred.
 
 use std::net::TcpStream;
@@ -22,6 +28,7 @@ const CONNECT_PATIENCE: Duration = Duration::from_secs(10);
 struct Args {
     connect: String,
     slots: u64,
+    count: usize,
     seed: u64,
     slot_ms: f64,
 }
@@ -30,6 +37,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         connect: "127.0.0.1:7015".to_string(),
         slots: 200,
+        count: 1,
         seed: 1,
         slot_ms: 15.0,
     };
@@ -42,11 +50,13 @@ fn parse_args() -> Args {
         match flag.as_str() {
             "--connect" => args.connect = value(),
             "--slots" => args.slots = value().parse().expect("--slots"),
+            "--count" => args.count = value().parse().expect("--count"),
             "--seed" => args.seed = value().parse().expect("--seed"),
             "--slot-ms" => args.slot_ms = value().parse().expect("--slot-ms"),
             other => panic!("unknown flag {other}"),
         }
     }
+    assert!(args.count >= 1, "--count must be at least 1");
     args
 }
 
@@ -68,53 +78,67 @@ fn connect_with_retry(addr: &str) -> TcpStream {
 
 fn main() {
     let args = parse_args();
-    let stream = connect_with_retry(&args.connect);
-    let transport = TcpClientTransport::new(stream, 64).expect("wrap connection");
-    let mut client = ReplayClient::new(
-        transport,
-        ClientConfig {
-            seed: args.seed,
-            slot_duration_s: args.slot_ms / 1000.0,
-            ..ClientConfig::default()
-        },
-    );
+    let mut clients: Vec<ReplayClient<TcpClientTransport>> = (0..args.count)
+        .map(|i| {
+            let stream = connect_with_retry(&args.connect);
+            let transport = TcpClientTransport::new(stream, 64).expect("wrap connection");
+            ReplayClient::new(
+                transport,
+                ClientConfig {
+                    seed: args.seed + i as u64,
+                    slot_duration_s: args.slot_ms / 1000.0,
+                    ..ClientConfig::default()
+                },
+            )
+        })
+        .collect();
 
     let mut ticker = SlotTicker::new(
         Duration::from_secs_f64(args.slot_ms / 1000.0),
         TickPacing::Realtime,
     );
     for _ in 0..args.slots {
-        client.step_slot();
+        for client in &mut clients {
+            client.step_slot();
+        }
         ticker.wait();
-        if client.finished() {
+        if clients.iter().all(ReplayClient::finished) {
             break;
         }
     }
-    let report = client.finish();
 
-    println!(
-        "user {}: seed={} welcomed={} assignments={} protocol_errors={} \
-         slots={} avg_viewed_q={:.3} avg_delay={:.2} \
-         rtt_us p50={:.1} p95={:.1} p99={:.1}",
-        report.user_id,
-        report.seed,
-        report.welcomed,
-        report.assignments,
-        report.protocol_errors,
-        report.summary.slots,
-        report.summary.avg_viewed_quality,
-        report.summary.avg_delay,
-        report.rtt.p50 / 1e3,
-        report.rtt.p95 / 1e3,
-        report.rtt.p99 / 1e3,
-    );
-
-    if !report.welcomed {
-        eprintln!("FAIL: handshake never completed");
-        std::process::exit(1);
+    let mut failures = 0usize;
+    for client in clients {
+        let report = client.finish();
+        println!(
+            "user {}: seed={} welcomed={} assignments={} protocol_errors={} \
+             slots={} avg_viewed_q={:.3} avg_delay={:.2} \
+             rtt_us p50={:.1} p95={:.1} p99={:.1}",
+            report.user_id,
+            report.seed,
+            report.welcomed,
+            report.assignments,
+            report.protocol_errors,
+            report.summary.slots,
+            report.summary.avg_viewed_quality,
+            report.summary.avg_delay,
+            report.rtt.p50 / 1e3,
+            report.rtt.p95 / 1e3,
+            report.rtt.p99 / 1e3,
+        );
+        if !report.welcomed {
+            eprintln!("FAIL: seed {} handshake never completed", report.seed);
+            failures += 1;
+        }
+        if report.protocol_errors > 0 {
+            eprintln!(
+                "FAIL: seed {} saw {} protocol errors",
+                report.seed, report.protocol_errors
+            );
+            failures += 1;
+        }
     }
-    if report.protocol_errors > 0 {
-        eprintln!("FAIL: {} protocol errors", report.protocol_errors);
+    if failures > 0 {
         std::process::exit(1);
     }
 }

@@ -100,8 +100,17 @@ fn serve_one(mut stream: TcpStream, body: &str) -> std::io::Result<()> {
     let mut head = Vec::with_capacity(512);
     let mut buf = [0u8; 512];
     // Read until the end of the request head; the request body (none for
-    // GET) is ignored.
-    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+    // GET) is ignored. Each read only scans the freshly received bytes
+    // plus the 3-byte overlap with what was already buffered — rescanning
+    // the whole head after every read would cost O(n²) against a
+    // slow-trickling scraper.
+    let mut scanned = 0usize;
+    loop {
+        let scan_from = scanned.saturating_sub(3);
+        if head[scan_from..].windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+        scanned = head.len();
         if head.len() > 8 * 1024 {
             return Ok(()); // oversized head: drop the connection
         }
@@ -155,6 +164,25 @@ mod tests {
         exporter.publish("cvr_ticks_total 43\n".to_string());
         let response = scrape(addr, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
         assert!(response.ends_with("cvr_ticks_total 43\n"), "{response}");
+    }
+
+    #[test]
+    fn trickled_request_head_is_parsed_across_reads() {
+        // The incremental scanner must find a `\r\n\r\n` terminator that
+        // arrives split across many tiny reads (including straddling the
+        // 3-byte overlap window), not just in a single chunk.
+        let exporter = MetricsExporter::bind("127.0.0.1:0").expect("bind");
+        exporter.publish("cvr_ticks_total 7\n".to_string());
+        let mut stream = TcpStream::connect(exporter.addr()).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        for byte in "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n".as_bytes() {
+            stream.write_all(&[*byte]).expect("trickle byte");
+            stream.flush().expect("flush");
+        }
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.ends_with("cvr_ticks_total 7\n"), "{response}");
     }
 
     #[test]

@@ -10,11 +10,17 @@
 //!   a realtime [`SlotTicker`] while one driver thread paces all the
 //!   clients; used by `serve_bench` to measure deadline behaviour under
 //!   genuine 15 ms pacing.
+//!
+//! Their multi-session counterparts ([`sharded_loopback_fleet`],
+//! [`run_host_lockstep`], [`run_host_realtime`]) drive a whole
+//! [`ShardHost`], routing every client through the host's control plane
+//! so client→session assignment is identical at any shard count.
 
 use std::time::Duration;
 
 use crate::client::{ClientConfig, ClientReport, ReplayClient};
 use crate::server::{ServeConfig, ServeReport, Session};
+use crate::shard::{HostConfig, SessionId, ShardHost};
 use crate::ticker::{SlotTicker, TickPacing};
 use crate::transport::{loopback, LoopbackClientEnd};
 
@@ -91,6 +97,108 @@ pub fn run_realtime(
     (session.report(), client_reports)
 }
 
+/// Builds a [`ShardHost`] with `sessions` sessions plus one loopback
+/// replay client per entry of `client_configs`, each routed through the
+/// host's control plane ([`ShardHost::route_join`]) — so client→session
+/// assignment depends only on join order, never on the shard count.
+/// Returns the host and each client tagged with the session it joined.
+pub fn sharded_loopback_fleet(
+    host_config: HostConfig,
+    sessions: usize,
+    client_configs: &[ClientConfig],
+) -> (ShardHost, Vec<(SessionId, ReplayClient<LoopbackClientEnd>)>) {
+    let queue_frames = host_config.session.outbound_queue_frames;
+    let mut host = ShardHost::new(host_config);
+    for _ in 0..sessions {
+        host.add_session();
+    }
+    let clients = client_configs
+        .iter()
+        .map(|config| {
+            let session = host.route_join();
+            let (server_end, client_end) = loopback(queue_frames);
+            host.add_transport(session, Box::new(server_end));
+            (session, ReplayClient::new(client_end, config.clone()))
+        })
+        .collect();
+    (host, clients)
+}
+
+/// Interleaves every client and every hosted session deterministically
+/// for `slots` slots, then shuts down and reports. The per-session
+/// reports come back in session-ID order; client reports in join order.
+pub fn run_host_lockstep(
+    mut host: ShardHost,
+    mut clients: Vec<(SessionId, ReplayClient<LoopbackClientEnd>)>,
+    slots: u64,
+) -> (Vec<(SessionId, ServeReport)>, Vec<ClientReport>) {
+    for _ in 0..slots {
+        for (_, client) in &mut clients {
+            client.step_slot();
+        }
+        host.step_slot();
+    }
+    host.shutdown();
+    let client_reports = clients
+        .into_iter()
+        .map(|(_, client)| client.finish())
+        .collect();
+    (host.reports(), client_reports)
+}
+
+/// Runs a sharded host under realtime pacing for `slots` slots — one
+/// tick thread per shard inside [`ShardHost::run_realtime`] — while
+/// `driver_threads` threads pace the clients (split round-robin) on the
+/// same period. Client reports come back in join order.
+pub fn run_host_realtime(
+    mut host: ShardHost,
+    clients: Vec<(SessionId, ReplayClient<LoopbackClientEnd>)>,
+    slots: u64,
+    period: Duration,
+    driver_threads: usize,
+) -> (Vec<(SessionId, ServeReport)>, Vec<ClientReport>) {
+    let driver_threads = driver_threads.max(1);
+    let mut groups: Vec<Vec<(usize, ReplayClient<LoopbackClientEnd>)>> =
+        (0..driver_threads).map(|_| Vec::new()).collect();
+    for (join_order, (_, client)) in clients.into_iter().enumerate() {
+        groups[join_order % driver_threads].push((join_order, client));
+    }
+
+    let mut indexed_reports: Vec<(usize, ClientReport)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = groups
+            .into_iter()
+            .map(|mut group| {
+                scope.spawn(move || {
+                    let mut ticker = SlotTicker::new(period, TickPacing::Realtime);
+                    for _ in 0..slots {
+                        for (_, client) in &mut group {
+                            client.step_slot();
+                        }
+                        ticker.wait();
+                    }
+                    group
+                        .into_iter()
+                        .map(|(idx, client)| (idx, client.finish()))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        host.run_realtime(slots, period, None, None);
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client driver panicked"))
+            .collect()
+    });
+
+    // A final lockstep slot so late client uploads are ingested before
+    // the reports, mirroring the single-session realtime driver.
+    host.step_slot();
+    host.shutdown();
+    indexed_reports.sort_by_key(|(idx, _)| *idx);
+    let client_reports = indexed_reports.into_iter().map(|(_, r)| r).collect();
+    (host.reports(), client_reports)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,6 +223,30 @@ mod tests {
         for report in &client_reports {
             assert!(report.welcomed);
             assert!(report.assignments > 40);
+            assert_eq!(report.protocol_errors, 0);
+        }
+    }
+
+    #[test]
+    fn sharded_realtime_fleet_serves_every_client() {
+        let (host, clients) = sharded_loopback_fleet(
+            HostConfig {
+                shards: 2,
+                session: ServeConfig::default(),
+            },
+            4,
+            &fleet_configs(8),
+        );
+        let (session_reports, client_reports) =
+            run_host_realtime(host, clients, 40, Duration::from_millis(5), 2);
+        assert_eq!(session_reports.len(), 4);
+        for (id, report) in &session_reports {
+            assert_eq!(report.counters.joins, 2, "session {id}");
+            assert_eq!(report.counters.protocol_errors, 0);
+        }
+        assert_eq!(client_reports.len(), 8);
+        for report in &client_reports {
+            assert!(report.welcomed);
             assert_eq!(report.protocol_errors, 0);
         }
     }

@@ -15,8 +15,14 @@
 //!   for deterministic tests and a `std::net::TcpStream` transport with
 //!   per-connection reader/writer threads, bounded outbound queues, and
 //!   a drop-oldest backpressure policy.
+//! * [`readiness`] — a std-only readiness-driven transport: non-blocking
+//!   sockets multiplexed by one poll loop per shard, so connection count
+//!   no longer dictates thread count.
 //! * [`server`] — the session/user registry and the per-slot control
 //!   loop, with slow-client degradation and observability counters.
+//! * [`shard`] — the sharded multi-session host: N worker shards, each
+//!   running a set of sessions off one amortised tick loop, with a
+//!   control plane for session placement and join routing.
 //! * [`expose`] — a minimal embedded HTTP responder serving the session's
 //!   `cvr-obs` metrics registry as Prometheus text (`--metrics-addr`).
 //! * [`client`] — the headless replay client that stands in for one
@@ -32,6 +38,8 @@ pub mod client;
 pub mod expose;
 pub mod harness;
 pub mod protocol;
+pub mod readiness;
 pub mod server;
+pub mod shard;
 pub mod ticker;
 pub mod transport;

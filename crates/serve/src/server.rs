@@ -444,10 +444,11 @@ impl Session {
         &self.obs.registry
     }
 
-    /// Refreshes the instantaneous gauges and renders the registry in the
-    /// Prometheus text exposition format — the payload the
-    /// [`crate::expose::MetricsExporter`] publishes.
-    pub fn render_metrics(&mut self) -> String {
+    /// Refreshes the instantaneous gauges (joined clients, deepest queue,
+    /// current slot) so a read of [`Session::metrics`] — or a merge into a
+    /// multi-session snapshot (see [`crate::shard::ShardHost`]) — sees
+    /// current values, not the values at the last render.
+    pub fn sync_gauges(&mut self) {
         let clients = self.active_users() as i64;
         self.obs.registry.set_gauge(self.obs.g_clients, clients);
         self.obs.registry.set_gauge(
@@ -457,6 +458,13 @@ impl Session {
         self.obs
             .registry
             .set_gauge(self.obs.g_slot, self.slot as i64);
+    }
+
+    /// Refreshes the instantaneous gauges and renders the registry in the
+    /// Prometheus text exposition format — the payload the
+    /// [`crate::expose::MetricsExporter`] publishes.
+    pub fn render_metrics(&mut self) -> String {
+        self.sync_gauges();
         self.obs.registry.render()
     }
 
