@@ -10,6 +10,19 @@ MODE="${1:-full}"
 
 step() { printf '\n=== %s ===\n' "$*"; }
 
+# One EXIT trap for the whole pipeline: any failure after the smoke
+# server/clients are spawned must not leak them, and the determinism
+# scratch directory always gets removed.
+SERVE_PID=""
+CLIENT_PID=""
+DET_DIR=""
+cleanup() {
+    if [ -n "${CLIENT_PID:-}" ]; then kill "$CLIENT_PID" 2>/dev/null || true; fi
+    if [ -n "${SERVE_PID:-}" ]; then kill "$SERVE_PID" 2>/dev/null || true; fi
+    if [ -n "${DET_DIR:-}" ]; then rm -rf "$DET_DIR"; fi
+}
+trap cleanup EXIT
+
 step "Format"
 cargo fmt --check
 
@@ -37,13 +50,18 @@ cargo run -p cvr-bench --release --bin fig7 -- --runs 1 --duration 5
 
 step "Determinism: 1 thread vs 4 threads must produce identical outputs"
 DET_DIR="$(mktemp -d)"
-trap 'rm -rf "$DET_DIR"' EXIT
 cargo run -p cvr-bench --release --bin fig2 -- --runs 6 --duration 5 --csv "$DET_DIR/t1" --threads 1
 cargo run -p cvr-bench --release --bin fig2 -- --runs 6 --duration 5 --csv "$DET_DIR/t4" --threads 4
 cargo run -p cvr-bench --release --bin fig7 -- --runs 4 --duration 5 --csv "$DET_DIR/t1" --threads 1
 cargo run -p cvr-bench --release --bin fig7 -- --runs 4 --duration 5 --csv "$DET_DIR/t4" --threads 4
 diff -r "$DET_DIR/t1" "$DET_DIR/t4"
 echo "determinism: outputs byte-for-byte identical"
+
+step "Net scenarios: pathology matrix at 1 vs 4 threads, byte-identical CSVs"
+cargo run -p cvr-bench --release --bin net_bench -- --runs 2 --duration 10 --csv "$DET_DIR/net-t1" --threads 1
+cargo run -p cvr-bench --release --bin net_bench -- --runs 2 --duration 10 --csv "$DET_DIR/net-t4" --threads 4
+diff -r "$DET_DIR/net-t1" "$DET_DIR/net-t4"
+echo "net scenarios: outputs byte-for-byte identical"
 
 step "Serve smoke: 8 TCP clients over 4 sessions on 2 shards, 200 slots, zero protocol errors"
 SERVE_PORT=7015
@@ -73,7 +91,9 @@ for family in cvr_slot_stage_ns_bucket cvr_tick_overruns_total \
 done
 echo "obs smoke: live /metrics scrape contains all required families"
 wait "$CLIENT_PID"
+CLIENT_PID=""
 wait "$SERVE_PID"
+SERVE_PID=""
 echo "serve smoke: server and all 8 clients exited cleanly"
 
 step "Bench gate"
@@ -82,6 +102,7 @@ cargo run -p cvr-bench --release --bin scale -- --quick
 cargo run -p cvr-bench --release --bin serve_bench -- --quick
 cargo run -p cvr-bench --release --bin build_bench -- --quick
 cargo run -p cvr-bench --release --bin obs_bench -- --quick
+cargo run -p cvr-bench --release --bin net_bench -- --quick
 cargo run -p cvr-bench --release --bin bench_check
 
 step "CI pipeline passed"

@@ -23,6 +23,11 @@
 //! * `BENCH_obs.json` — metrics + sampled tracing must cost ≤ 2 % of the
 //!   uninstrumented slot loop on every setup, and never change the
 //!   solver's output.
+//! * `BENCH_net.json` — the cellular digital-twin scenario matrix must
+//!   cover every impairment pathology, its two thread-count runs must
+//!   carry identical determinism fingerprints, and Algorithm 1
+//!   (`ours`) must keep QoE ≥ each baseline on at least 4 of the 5
+//!   pathologies.
 //!
 //! Run after the benches: `cargo run -p cvr-bench --release --bin bench_check`
 
@@ -37,6 +42,15 @@ const MIN_SERVE_ONTIME: f64 = 0.95;
 const MIN_SERVE_SESSIONS: usize = 64;
 const MIN_SERVE_FLEET_CLIENTS: usize = 512;
 const MAX_OBS_OVERHEAD_PCT: f64 = 2.0;
+const NET_PATHOLOGIES: [&str; 5] = [
+    "markov-fading",
+    "blockage",
+    "handover",
+    "bufferbloat",
+    "flash-crowd",
+];
+const NET_BASELINES: [&str; 2] = ["firefly", "pavq"];
+const MIN_NET_WINS: usize = 4;
 
 struct Gate {
     failures: Vec<String>,
@@ -346,6 +360,75 @@ fn check_obs(gate: &mut Gate, doc: &Json) {
     }
 }
 
+fn check_net(gate: &mut Gate, doc: &Json) {
+    let deterministic = doc
+        .get("deterministic")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    gate.check(
+        deterministic,
+        "net: scenario matrix bit-identical across thread counts".to_string(),
+    );
+    let fp_main = doc.get("fingerprint_main").and_then(Json::as_str);
+    let fp_check = doc.get("fingerprint_check").and_then(Json::as_str);
+    gate.check(
+        fp_main.is_some() && fp_main == fp_check,
+        format!(
+            "net: determinism fingerprints match ({} vs {})",
+            fp_main.unwrap_or("missing"),
+            fp_check.unwrap_or("missing")
+        ),
+    );
+    let rows = doc
+        .get("rows")
+        .and_then(Json::as_array)
+        .expect("net JSON has a `rows` array");
+
+    // QoE per (pathology, algorithm), pathology presence included.
+    let qoe_of = |row: &Json, name: &str| -> Option<f64> {
+        row.get("algorithms")?
+            .as_array()?
+            .iter()
+            .find(|a| a.get("name").and_then(Json::as_str) == Some(name))?
+            .get("qoe")
+            .and_then(Json::as_f64)
+    };
+    let mut wins = std::collections::BTreeMap::new();
+    for pathology in NET_PATHOLOGIES {
+        let row = rows
+            .iter()
+            .find(|r| r.get("pathology").and_then(Json::as_str) == Some(pathology));
+        gate.check(
+            row.is_some(),
+            format!("net: pathology `{pathology}` present in the matrix"),
+        );
+        let Some(row) = row else { continue };
+        let Some(ours) = qoe_of(row, "ours") else {
+            gate.check(false, format!("net {pathology}: `ours` QoE present"));
+            continue;
+        };
+        for baseline in NET_BASELINES {
+            let Some(other) = qoe_of(row, baseline) else {
+                gate.check(false, format!("net {pathology}: `{baseline}` QoE present"));
+                continue;
+            };
+            if ours >= other {
+                *wins.entry(baseline).or_insert(0usize) += 1;
+            }
+        }
+    }
+    for baseline in NET_BASELINES {
+        let won = wins.get(baseline).copied().unwrap_or(0);
+        gate.check(
+            won >= MIN_NET_WINS,
+            format!(
+                "net: ours QoE >= {baseline} on {won}/{} pathologies (need >= {MIN_NET_WINS})",
+                NET_PATHOLOGIES.len()
+            ),
+        );
+    }
+}
+
 fn main() {
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
     let mut gate = Gate {
@@ -358,6 +441,7 @@ fn main() {
     check_serve(&mut gate, &load(&format!("{root}/BENCH_serve.json")));
     check_build(&mut gate, &load(&format!("{root}/BENCH_build.json")));
     check_obs(&mut gate, &load(&format!("{root}/BENCH_obs.json")));
+    check_net(&mut gate, &load(&format!("{root}/BENCH_net.json")));
 
     println!();
     if gate.failures.is_empty() {

@@ -21,6 +21,8 @@
 
 pub mod channel;
 pub mod estimate;
+pub mod impair;
+pub mod multilink;
 pub mod queueing;
 pub mod router;
 pub mod trace;
@@ -29,6 +31,8 @@ pub use channel::{AckChannel, Delivery, RtpChannel};
 pub use estimate::{
     BandwidthEstimator, EmaEstimator, HarmonicMeanEstimator, PolyRegression, SlidingMeanEstimator,
 };
+pub use impair::{BufferbloatQueue, ImpairmentConfig, Pathology};
+pub use multilink::{BondedLink, FailoverPolicy, LinkId, LinkSample};
 pub use queueing::{RttSampler, TokenBucket};
 pub use router::{fair_share, InterferenceMode, WirelessRouter};
 pub use trace::{ThroughputTrace, TraceCsvError, TraceGeneratorConfig, TraceProfile};

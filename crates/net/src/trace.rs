@@ -32,10 +32,14 @@ pub struct ThroughputTrace {
 impl ThroughputTrace {
     /// Builds a trace from `(duration_s, mbps)` segments.
     ///
+    /// Zero-throughput segments are allowed: the impairment engine
+    /// ([`crate::impair`]) models inter-RAT handovers as hard
+    /// zero-throughput windows.
+    ///
     /// # Panics
     ///
-    /// Panics if any segment has non-positive duration or throughput, or if
-    /// the trace is empty.
+    /// Panics if any segment has non-positive duration or negative
+    /// throughput, or if the trace is empty.
     pub fn from_segments(segments: Vec<(f64, f64)>) -> Self {
         assert!(!segments.is_empty(), "trace must have at least one segment");
         for &(d, m) in &segments {
@@ -44,8 +48,8 @@ impl ThroughputTrace {
                 "segment duration must be positive"
             );
             assert!(
-                m > 0.0 && m.is_finite(),
-                "segment throughput must be positive"
+                m >= 0.0 && m.is_finite(),
+                "segment throughput must be non-negative"
             );
         }
         let total_duration = segments.iter().map(|s| s.0).sum();
@@ -269,7 +273,8 @@ impl ThroughputTrace {
     /// # Errors
     ///
     /// Returns [`TraceCsvError::Parse`] on malformed rows (including
-    /// non-positive durations or throughputs), [`TraceCsvError::Empty`]
+    /// non-positive durations or negative throughputs; zero throughput is
+    /// a valid outage window), [`TraceCsvError::Empty`]
     /// when no rows survive, and [`TraceCsvError::Io`] on read failures.
     pub fn from_csv<R: std::io::Read>(reader: R) -> Result<Self, TraceCsvError> {
         use std::io::BufRead;
@@ -299,20 +304,25 @@ impl ThroughputTrace {
                     })
                 }
             };
-            let parse = |s: &str, name: &str| -> Result<f64, TraceCsvError> {
+            let parse = |s: &str, name: &str, min: f64| -> Result<f64, TraceCsvError> {
                 let v: f64 = s.trim().parse().map_err(|e| TraceCsvError::Parse {
                     line: idx + 1,
                     reason: format!("{name}: {e}"),
                 })?;
-                if !v.is_finite() || v <= 0.0 {
+                if !v.is_finite() || v < min || (min == 0.0 && v.is_sign_negative()) {
                     return Err(TraceCsvError::Parse {
                         line: idx + 1,
-                        reason: format!("{name} must be positive, got {v}"),
+                        reason: format!("{name} out of range, got {v}"),
                     });
                 }
                 Ok(v)
             };
-            segments.push((parse(d, "duration")?, parse(m, "mbps")?));
+            // Durations must be positive; throughputs may be exactly zero
+            // (handover outage windows).
+            segments.push((
+                parse(d, "duration", f64::MIN_POSITIVE)?,
+                parse(m, "mbps", 0.0)?,
+            ));
         }
         if segments.is_empty() {
             return Err(TraceCsvError::Empty);
@@ -355,9 +365,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "throughput must be positive")]
-    fn nonpositive_throughput_panics() {
-        let _ = ThroughputTrace::from_segments(vec![(1.0, 0.0)]);
+    #[should_panic(expected = "throughput must be non-negative")]
+    fn negative_throughput_panics() {
+        let _ = ThroughputTrace::from_segments(vec![(1.0, -1.0)]);
+    }
+
+    #[test]
+    fn zero_throughput_segments_are_valid_outages() {
+        let t = ThroughputTrace::from_segments(vec![(1.0, 40.0), (0.5, 0.0), (1.0, 40.0)]);
+        assert_eq!(t.at(1.2), 0.0);
+        assert_eq!(t.min(), 0.0);
+        let mut buf = Vec::new();
+        t.to_csv(&mut buf).unwrap();
+        let back = ThroughputTrace::from_csv(buf.as_slice()).unwrap();
+        assert_eq!(back.segments(), t.segments());
     }
 
     #[test]

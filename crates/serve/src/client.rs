@@ -20,6 +20,7 @@ use cvr_core::objective::QoeParams;
 use cvr_core::qoe::{UserQoeAccumulator, UserQoeSummary};
 use cvr_core::quality::QualityLevel;
 use cvr_motion::synthetic::{MotionConfig, MotionGenerator};
+use cvr_net::multilink::{BondedLink, LinkId};
 use cvr_obs::{Histogram, HistogramSummary};
 
 use crate::protocol::{ClientMessage, ServerMessage, PROTOCOL_VERSION};
@@ -41,7 +42,15 @@ pub struct ClientConfig {
     /// Tile-buffer threshold (tiles held before releasing old ones).
     pub buffer_tiles: usize,
     /// Mean of the synthetic bandwidth samples the client reports, Mbps.
+    /// Ignored when `bonded` is set.
     pub bandwidth_mbps: f64,
+    /// Two bonded radios (Wi-Fi-like + LTE-like). When set, each slot
+    /// uploads one jittered [`ClientMessage::LinkSample`] per link —
+    /// sampled at `seq * slot_duration_s` — instead of the legacy
+    /// single-link `BandwidthSample`, so the server's per-link EMAs and
+    /// failover policy see the same deterministic radio timeline as the
+    /// simulator.
+    pub bonded: Option<BondedLink>,
 }
 
 impl Default for ClientConfig {
@@ -52,6 +61,7 @@ impl Default for ClientConfig {
             params: QoeParams::system_default(),
             buffer_tiles: 600,
             bandwidth_mbps: 50.0,
+            bonded: None,
         }
     }
 }
@@ -78,6 +88,8 @@ pub struct ClientReport {
     pub protocol_errors: u64,
     /// Whether the handshake completed.
     pub welcomed: bool,
+    /// Client-side bonded-link failovers (0 for single-link clients).
+    pub link_switches: u64,
 }
 
 /// One trace-replay client over any [`ClientTransport`].
@@ -195,10 +207,25 @@ impl<T: ClientTransport> ReplayClient<T> {
             seq: self.seq,
             pose,
         });
-        let jitter: f64 = 1.0 + self.rng.gen_range(-0.1..0.1);
-        self.transport.send(&ClientMessage::BandwidthSample {
-            mbps: self.config.bandwidth_mbps * jitter,
-        });
+        if let Some(link) = self.config.bonded.as_mut() {
+            let t = self.seq as f64 * self.config.slot_duration_s;
+            let sample = link.sample(t);
+            for (id, mbps) in [
+                (LinkId::Wifi, sample.wifi_mbps),
+                (LinkId::Lte, sample.lte_mbps),
+            ] {
+                let jitter: f64 = 1.0 + self.rng.gen_range(-0.1..0.1);
+                self.transport.send(&ClientMessage::LinkSample {
+                    link: id,
+                    mbps: mbps * jitter,
+                });
+            }
+        } else {
+            let jitter: f64 = 1.0 + self.rng.gen_range(-0.1..0.1);
+            self.transport.send(&ClientMessage::BandwidthSample {
+                mbps: self.config.bandwidth_mbps * jitter,
+            });
+        }
         self.seq += 1;
     }
 
@@ -274,6 +301,12 @@ impl<T: ClientTransport> ReplayClient<T> {
             assignments: self.assignments,
             protocol_errors: self.protocol_errors,
             welcomed: self.welcomed,
+            link_switches: self
+                .config
+                .bonded
+                .as_ref()
+                .map(|link| link.switches())
+                .unwrap_or(0),
         }
     }
 }
@@ -283,6 +316,19 @@ mod tests {
     use super::*;
     use crate::server::{ServeConfig, Session};
     use crate::transport::loopback;
+    use cvr_net::multilink::FailoverPolicy;
+    use cvr_net::trace::ThroughputTrace;
+
+    fn bonded_config(seed: u64, lte_mbps: f64) -> ClientConfig {
+        // Wi-Fi: healthy, a hard 0.45 s outage, then healthy again.
+        let wifi = ThroughputTrace::from_segments(vec![(0.3, 50.0), (0.45, 0.0), (9.0, 50.0)]);
+        let lte = ThroughputTrace::from_segments(vec![(10.0, lte_mbps)]);
+        ClientConfig {
+            seed,
+            bonded: Some(BondedLink::new(wifi, lte, FailoverPolicy::default())),
+            ..ClientConfig::default()
+        }
+    }
 
     #[test]
     fn client_handshakes_and_accumulates_qoe_over_loopback() {
@@ -308,5 +354,60 @@ mod tests {
         assert_eq!(report.protocol_errors, 0);
         assert!(report.summary.slots > 0);
         assert!(report.summary.avg_chosen_quality >= 1.0);
+        assert_eq!(report.link_switches, 0, "single-link client never switches");
+    }
+
+    #[test]
+    fn bonded_client_drives_server_failover_and_recovery() {
+        let mut session = Session::new(ServeConfig::default());
+        let (server_end, client_end) = loopback(64);
+        session.add_connection(Box::new(server_end));
+        let mut client = ReplayClient::new(client_end, bonded_config(21, 20.0));
+        for _ in 0..100 {
+            session.step_slot();
+            client.step_slot();
+        }
+        session.shutdown();
+        let counters = session.counters().clone();
+        let report = client.finish();
+        assert!(report.welcomed);
+        assert_eq!(report.protocol_errors, 0);
+        // The client's own bond fails over during the outage and recovers
+        // once Wi-Fi holds above the recovery threshold.
+        assert!(
+            report.link_switches >= 2,
+            "client switched {} times",
+            report.link_switches
+        );
+        // The server's per-link EMAs replay the same story: its failover
+        // policy must have moved this user to LTE and back.
+        assert!(
+            counters.link_switches >= 2,
+            "server saw {} switches",
+            counters.link_switches
+        );
+    }
+
+    #[test]
+    fn failover_to_starved_lte_pins_quality_degraded() {
+        // The LTE fallback is below the degrade floor (2 Mbps): failing
+        // over must trip the bandwidth-degraded pin, not just re-anchor.
+        let mut session = Session::new(ServeConfig::default());
+        let (server_end, client_end) = loopback(64);
+        session.add_connection(Box::new(server_end));
+        let mut client = ReplayClient::new(client_end, bonded_config(22, 1.5));
+        for _ in 0..100 {
+            session.step_slot();
+            client.step_slot();
+        }
+        session.shutdown();
+        let counters = session.counters().clone();
+        let report = client.finish();
+        assert_eq!(report.protocol_errors, 0);
+        assert!(counters.link_switches >= 1);
+        assert!(
+            counters.degraded_transitions >= 1,
+            "starved fallback must enter the degraded state"
+        );
     }
 }

@@ -20,10 +20,14 @@
 
 use cvr_content::id::VideoId;
 use cvr_motion::pose::Pose;
+use cvr_net::multilink::LinkId;
 
 /// Current protocol version, carried in `Hello` and `Welcome`. A server
 /// refuses clients speaking a different version.
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// Version 2 added `LinkSample` (per-radio bandwidth reports from bonded
+/// multi-link clients).
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Upper bound on a frame payload; larger length prefixes are treated as
 /// corruption (a manifest of every tile in a session is far smaller).
@@ -87,6 +91,8 @@ pub mod tag {
     pub const BANDWIDTH: u8 = 0x05;
     /// Client `Bye`.
     pub const BYE: u8 = 0x06;
+    /// Client `LinkSample` (bonded multi-link bandwidth report).
+    pub const LINK_BANDWIDTH: u8 = 0x07;
     /// Server `Welcome`.
     pub const WELCOME: u8 = 0x81;
     /// Server `Assignment`.
@@ -129,6 +135,15 @@ pub enum ClientMessage {
     /// bandwidth estimator.
     BandwidthSample {
         /// Observed throughput in Mbps.
+        mbps: f64,
+    },
+    /// A per-radio throughput observation from a bonded multi-link
+    /// client. The server keeps one estimator per link and runs the
+    /// failover policy over their estimates (protocol v2).
+    LinkSample {
+        /// Which radio the observation belongs to.
+        link: LinkId,
+        /// Observed throughput on that radio in Mbps.
         mbps: f64,
     },
     /// Clean disconnect.
@@ -299,6 +314,11 @@ impl ClientMessage {
                 buf.push(tag::BANDWIDTH);
                 put_f64(buf, *mbps);
             }
+            ClientMessage::LinkSample { link, mbps } => {
+                buf.push(tag::LINK_BANDWIDTH);
+                buf.push(link.as_u8());
+                put_f64(buf, *mbps);
+            }
             ClientMessage::Bye => buf.push(tag::BYE),
         }
     }
@@ -335,6 +355,15 @@ impl ClientMessage {
                     return Err(WireError::InvalidField("bandwidth sample"));
                 }
                 ClientMessage::BandwidthSample { mbps }
+            }
+            tag::LINK_BANDWIDTH => {
+                let link =
+                    LinkId::from_u8(r.u8()?).ok_or(WireError::InvalidField("unknown link id"))?;
+                let mbps = r.f64()?;
+                if !mbps.is_finite() || mbps < 0.0 {
+                    return Err(WireError::InvalidField("link bandwidth sample"));
+                }
+                ClientMessage::LinkSample { link, mbps }
             }
             tag::BYE => ClientMessage::Bye,
             other => return Err(WireError::UnknownTag(other)),
@@ -523,6 +552,14 @@ mod tests {
             },
             ClientMessage::Release { ids: vec![] },
             ClientMessage::BandwidthSample { mbps: 48.25 },
+            ClientMessage::LinkSample {
+                link: LinkId::Wifi,
+                mbps: 52.5,
+            },
+            ClientMessage::LinkSample {
+                link: LinkId::Lte,
+                mbps: 0.0,
+            },
             ClientMessage::Bye,
         ];
         for m in &messages {
@@ -613,6 +650,25 @@ mod tests {
             ClientMessage::decode(&payload),
             Err(WireError::InvalidField(_))
         ));
+    }
+
+    #[test]
+    fn link_samples_reject_bad_link_and_bad_bandwidth() {
+        let mut payload = vec![tag::LINK_BANDWIDTH, 7];
+        put_f64(&mut payload, 10.0);
+        assert_eq!(
+            ClientMessage::decode(&payload),
+            Err(WireError::InvalidField("unknown link id"))
+        );
+        let mut payload = vec![tag::LINK_BANDWIDTH, 0];
+        put_f64(&mut payload, -1.0);
+        assert_eq!(
+            ClientMessage::decode(&payload),
+            Err(WireError::InvalidField("link bandwidth sample"))
+        );
+        let mut payload = vec![tag::LINK_BANDWIDTH, 1];
+        put_f64(&mut payload, f64::INFINITY);
+        assert!(ClientMessage::decode(&payload).is_err());
     }
 
     #[test]

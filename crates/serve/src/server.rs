@@ -37,6 +37,7 @@ use cvr_motion::accuracy::DeltaEstimator;
 use cvr_motion::pose::Pose;
 use cvr_motion::predict::LinearPredictor;
 use cvr_net::estimate::EmaEstimator;
+use cvr_net::multilink::{FailoverPolicy, LinkId};
 use cvr_obs::registry::{CounterId, GaugeId, HistogramId};
 use cvr_obs::{latency_bounds_ns, Registry, StageStats, TraceEvent, Tracer};
 use cvr_sim::system::{sanitize_rates, DELAY_CAP_SLOTS, PIPELINE_SLOTS};
@@ -70,6 +71,19 @@ pub struct ServeConfig {
     pub params: QoeParams,
     /// EMA weight of the per-user bandwidth estimator.
     pub ema_weight: f64,
+    /// EMA weight of the per-link estimators fed by bonded clients'
+    /// `LinkSample`s. Deliberately faster than `ema_weight`: the failover
+    /// decision must see an outage within a handful of samples, while the
+    /// planning estimate stays smooth.
+    pub link_ema_weight: f64,
+    /// Failover/recovery policy run over the per-link estimates — the
+    /// same [`FailoverPolicy`] the simulator's bonded links use.
+    pub failover: FailoverPolicy,
+    /// When a bonded user's planning estimate falls below this floor
+    /// (Mbps), the user is pinned to the lowest quality until the
+    /// estimate recovers past twice the floor — the bandwidth analogue of
+    /// the slow-client backpressure degrade.
+    pub degrade_floor_mbps: f64,
     /// Per-connection outbound queue capacity, frames.
     pub outbound_queue_frames: usize,
     /// Most users the session admits; later Hellos are refused.
@@ -87,6 +101,9 @@ impl Default for ServeConfig {
             default_bandwidth_mbps: 50.0,
             params: QoeParams::system_default(),
             ema_weight: 0.05,
+            link_ema_weight: 0.3,
+            failover: FailoverPolicy::default(),
+            degrade_floor_mbps: 2.0,
             outbound_queue_frames: 64,
             max_users: 16,
             build_threads: 1,
@@ -115,6 +132,7 @@ struct SessionObs {
     c_proto: CounterId,
     c_dropped: CounterId,
     c_degraded: CounterId,
+    c_link_switches: CounterId,
     g_clients: GaugeId,
     g_queue_depth: GaugeId,
     g_slot: GaugeId,
@@ -162,6 +180,11 @@ impl SessionObs {
             "",
             "Times a user entered the degraded state",
         );
+        let c_link_switches = r.counter(
+            "cvr_link_switches_total",
+            "",
+            "Bonded-link failovers across all users",
+        );
         let g_clients = r.gauge("cvr_session_clients", "", "Users currently joined");
         let g_queue_depth = r.gauge(
             "cvr_outbound_queue_depth_max",
@@ -186,6 +209,7 @@ impl SessionObs {
             c_proto,
             c_dropped,
             c_degraded,
+            c_link_switches,
             g_clients,
             g_queue_depth,
             g_slot,
@@ -241,6 +265,21 @@ struct UserState {
     /// Times this user *entered* the degraded state (recoveries reset the
     /// flag but not this count).
     degrade_transitions: u64,
+    /// Per-radio estimators fed by `LinkSample`s (bonded clients only);
+    /// faster weight than the planning EMA so outages surface quickly.
+    wifi_bw: EmaEstimator,
+    lte_bw: EmaEstimator,
+    /// Link the failover policy currently routes this user over.
+    active_link: LinkId,
+    /// Recovery streak carried between failover decisions.
+    link_streak: u32,
+    /// Failovers this user has performed.
+    link_switches: u64,
+    /// Set once the first `LinkSample` arrives: this user is bonded.
+    multilink: bool,
+    /// Bandwidth-floor degrade, held separately from the backpressure
+    /// `degraded` flag so queue recovery cannot clear a starvation pin.
+    bw_degraded: bool,
     seed: u64,
 }
 
@@ -269,6 +308,13 @@ impl UserState {
             predictions: VecDeque::new(),
             degraded: false,
             degrade_transitions: 0,
+            wifi_bw: EmaEstimator::new(config.link_ema_weight),
+            lte_bw: EmaEstimator::new(config.link_ema_weight),
+            active_link: LinkId::Wifi,
+            link_streak: 0,
+            link_switches: 0,
+            multilink: false,
+            bw_degraded: false,
             seed,
         }
     }
@@ -293,6 +339,8 @@ pub struct ServerCounters {
     pub frames_dropped: u64,
     /// Times a user entered the degraded (lowest-quality) state.
     pub degraded_transitions: u64,
+    /// Bonded-link failovers across all users.
+    pub link_switches: u64,
     /// Deepest outbound queue observed on any connection.
     pub max_outbound_queue_depth: usize,
 }
@@ -315,6 +363,9 @@ pub struct UserServerSummary {
     pub frames_dropped: u64,
     /// Times this user entered the degraded (lowest-quality) state.
     pub degrade_transitions: u64,
+    /// Bonded-link failovers this user performed (0 for single-link
+    /// clients).
+    pub link_switches: u64,
 }
 
 /// End-of-run session report: counters plus per-stage timing summaries.
@@ -600,6 +651,7 @@ impl Session {
             bandwidth_mbps: user.bandwidth.estimate().unwrap_or(f64::NAN),
             frames_dropped: user.transport.frames_dropped(),
             degrade_transitions: user.degrade_transitions,
+            link_switches: user.link_switches,
         }
     }
 
@@ -725,6 +777,39 @@ impl Session {
                     Ok(ClientMessage::BandwidthSample { mbps }) => {
                         user.bandwidth.update(mbps);
                     }
+                    Ok(ClientMessage::LinkSample { link, mbps }) => {
+                        user.multilink = true;
+                        match link {
+                            LinkId::Wifi => user.wifi_bw.update(mbps),
+                            LinkId::Lte => user.lte_bw.update(mbps),
+                        };
+                        let wifi = user.wifi_bw.estimate_or(0.0);
+                        let lte = user.lte_bw.estimate_or(0.0);
+                        let before = user.active_link;
+                        let (active, streak) =
+                            self.config
+                                .failover
+                                .next(before, wifi, lte, user.link_streak);
+                        user.active_link = active;
+                        user.link_streak = streak;
+                        if active != before {
+                            // Failover: re-anchor the planning estimator
+                            // on the radio now carrying traffic so the
+                            // next slot budgets against it immediately
+                            // instead of bleeding the old link's history
+                            // through the slow EMA.
+                            user.link_switches += 1;
+                            self.counters.link_switches += 1;
+                            self.obs.registry.inc(self.obs.c_link_switches, 1);
+                            user.bandwidth.reset();
+                            user.bandwidth.update(match active {
+                                LinkId::Wifi => wifi,
+                                LinkId::Lte => lte,
+                            });
+                        } else if link == active {
+                            user.bandwidth.update(mbps);
+                        }
+                    }
                     Ok(ClientMessage::Bye) => {
                         leave = true;
                     }
@@ -810,6 +895,27 @@ impl Session {
                 .bandwidth
                 .estimate_or(self.config.default_bandwidth_mbps)
                 .max(1.0);
+            // Bandwidth-floor degrade for bonded users: starving links pin
+            // the user to the lowest quality; recovery needs 2× the floor
+            // (hysteresis) so a flapping radio cannot oscillate quality.
+            if user.multilink {
+                if !user.bw_degraded && bn < self.config.degrade_floor_mbps {
+                    user.bw_degraded = true;
+                    user.degrade_transitions += 1;
+                    self.counters.degraded_transitions += 1;
+                    self.obs.registry.inc(self.obs.c_degraded, 1);
+                    self.obs.tracer.record(TraceEvent::Degrade {
+                        user_id: user.user_id as u64,
+                        degraded: true,
+                    });
+                } else if user.bw_degraded && bn > 2.0 * self.config.degrade_floor_mbps {
+                    user.bw_degraded = false;
+                    self.obs.tracer.record(TraceEvent::Degrade {
+                        user_id: user.user_id as u64,
+                        degraded: false,
+                    });
+                }
+            }
             self.plan_ids.push(id);
             self.plan_predicted.push(predicted);
             self.plan_bn.push(bn);
@@ -877,7 +983,7 @@ impl Session {
                 continue;
             };
             let assigned = self.engine.assignment()[i];
-            let quality = if user.degraded {
+            let quality = if user.degraded || user.bw_degraded {
                 QualityLevel::MIN
             } else {
                 assigned

@@ -7,6 +7,7 @@ use cvr_content::id::VideoId;
 use cvr_content::tile::TileId;
 use cvr_core::quality::QualityLevel;
 use cvr_motion::pose::Pose;
+use cvr_net::multilink::LinkId;
 use cvr_serve::protocol::{
     read_frame, write_frame, ClientMessage, FrameError, ServerMessage, WireError, MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
@@ -81,6 +82,33 @@ proptest! {
     #[test]
     fn bye_round_trips(_nothing in 0u8..1) {
         client_roundtrip(&ClientMessage::Bye);
+    }
+
+    #[test]
+    fn link_sample_round_trips(wifi in 0u8..2, mbps in 0.0f64..10_000.0) {
+        let link = LinkId::from_u8(wifi).unwrap();
+        client_roundtrip(&ClientMessage::LinkSample { link, mbps });
+    }
+
+    // A corrupted link tag or a non-finite/negative bandwidth must be
+    // rejected at decode time — the server never sees a garbage sample.
+    #[test]
+    fn corrupt_link_samples_never_decode(tag in 2u8..=u8::MAX, mbps in 0.0f64..10_000.0) {
+        let mut payload = ClientMessage::LinkSample { link: LinkId::Wifi, mbps }.to_payload();
+        // Byte 0 is the message tag; byte 1 is the link id.
+        payload[1] = tag;
+        prop_assert!(matches!(
+            ClientMessage::decode(&payload),
+            Err(WireError::InvalidField(_))
+        ));
+    }
+
+    #[test]
+    fn non_finite_link_bandwidth_never_decodes(wifi in 0u8..2, pick in 0usize..5) {
+        let bad = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0, -1e9][pick];
+        let link = LinkId::from_u8(wifi).unwrap();
+        let payload = ClientMessage::LinkSample { link, mbps: bad }.to_payload();
+        prop_assert!(ClientMessage::decode(&payload).is_err());
     }
 
     #[test]

@@ -13,10 +13,12 @@ use std::collections::BTreeMap;
 
 use cvr_obs::Registry;
 
+use cvr_net::impair::Pathology;
+
 use crate::allocators::AllocatorKind;
 use crate::metrics::MetricDistributions;
 use crate::parallel::{self, RunSpec};
-use crate::system::{self, SystemConfig, SystemRunResult};
+use crate::system::{self, NetScenario, SystemConfig, SystemRunResult};
 use crate::tracesim::{self, RunResult, TraceSimConfig};
 
 /// Bucket bounds for the per-run mean-quality histogram, in milli-levels
@@ -166,6 +168,8 @@ pub struct SystemAverages {
     pub fps: f64,
     /// Mean transfer loss rate.
     pub loss_rate: f64,
+    /// Mean bonded-link failovers per run (0 without a scenario).
+    pub link_switches: f64,
 }
 
 impl SystemAverages {
@@ -176,6 +180,7 @@ impl SystemAverages {
         self.variance += r.summary.avg_variance * inv_n;
         self.fps += r.fps * inv_n;
         self.loss_rate += r.loss_rate * inv_n;
+        self.link_switches += r.link_switches as f64 * inv_n;
     }
 }
 
@@ -220,6 +225,59 @@ pub fn system_experiment_threaded(
         }
     }
     out
+}
+
+/// One row of the pathology × algorithm scenario matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioRow {
+    /// Which correlated impairment (see [`Pathology::label`]).
+    pub pathology: Pathology,
+    /// Per-algorithm averages under that impairment.
+    pub per_algorithm: BTreeMap<&'static str, SystemAverages>,
+}
+
+/// The full scenario matrix: every [`Pathology`], every algorithm.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ScenarioMatrixResult {
+    /// One row per pathology, in [`Pathology::ALL`] order.
+    pub rows: Vec<ScenarioRow>,
+}
+
+/// Runs the cellular digital-twin scenario matrix: for every pathology in
+/// [`Pathology::ALL`], a full [`system_experiment`] with the base config's
+/// scenario swapped for [`NetScenario::paper_default`] of that pathology.
+pub fn scenario_matrix(
+    base: &SystemConfig,
+    kinds: &[AllocatorKind],
+    repetitions: usize,
+) -> ScenarioMatrixResult {
+    scenario_matrix_threaded(base, kinds, repetitions, None)
+}
+
+/// [`scenario_matrix`] with an explicit worker count (`None`/`Some(0)` =
+/// available parallelism). Inherits [`system_experiment_threaded`]'s
+/// bit-identical-at-any-thread-count guarantee row by row.
+pub fn scenario_matrix_threaded(
+    base: &SystemConfig,
+    kinds: &[AllocatorKind],
+    repetitions: usize,
+    threads: Option<usize>,
+) -> ScenarioMatrixResult {
+    let rows = Pathology::ALL
+        .into_iter()
+        .map(|pathology| {
+            let config = SystemConfig {
+                scenario: Some(NetScenario::paper_default(pathology)),
+                ..base.clone()
+            };
+            let result = system_experiment_threaded(&config, kinds, repetitions, threads);
+            ScenarioRow {
+                pathology,
+                per_algorithm: result.per_algorithm,
+            }
+        })
+        .collect();
+    ScenarioMatrixResult { rows }
 }
 
 #[cfg(test)]
@@ -296,6 +354,25 @@ mod tests {
         let mean = |label: &str| result.per_algorithm.get(label).expect("present").qoe.mean();
         assert!(mean("ours") > mean("firefly"));
         assert!(mean("optimal") >= mean("ours") - 0.05 * mean("ours").abs());
+    }
+
+    #[test]
+    fn scenario_matrix_covers_every_pathology_deterministically() {
+        let base = SystemConfig {
+            num_users: 2,
+            duration_s: 2.0,
+            ..SystemConfig::setup1(55)
+        };
+        let kinds = [AllocatorKind::DensityValueGreedy];
+        let serial = scenario_matrix_threaded(&base, &kinds, 2, Some(1));
+        assert_eq!(serial.rows.len(), Pathology::ALL.len());
+        for (row, expected) in serial.rows.iter().zip(Pathology::ALL) {
+            assert_eq!(row.pathology, expected);
+            let ours = row.per_algorithm["ours"];
+            assert!(ours.fps > 0.0 && ours.fps <= 60.0);
+        }
+        let parallel = scenario_matrix_threaded(&base, &kinds, 2, Some(4));
+        assert_eq!(parallel, serial, "scenario matrix diverged across threads");
     }
 
     #[test]

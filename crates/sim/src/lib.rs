@@ -40,12 +40,13 @@ pub mod tracesim;
 pub use allocators::AllocatorKind;
 pub use event::EventQueue;
 pub use experiment::{
-    system_experiment, system_experiment_threaded, trace_experiment, trace_experiment_threaded,
-    SystemAverages, SystemExperimentResult, TraceExperimentResult,
+    scenario_matrix, scenario_matrix_threaded, system_experiment, system_experiment_threaded,
+    trace_experiment, trace_experiment_threaded, ScenarioMatrixResult, ScenarioRow, SystemAverages,
+    SystemExperimentResult, TraceExperimentResult,
 };
 pub use metrics::{
     EmpiricalDistribution, MetricDistributions, SlotTimingReport, SortedDistribution, StageStats,
 };
 pub use parallel::RunSpec;
-pub use system::{ObjectiveMode, RenderingMode, SystemConfig, SystemRunResult};
+pub use system::{NetScenario, ObjectiveMode, RenderingMode, SystemConfig, SystemRunResult};
 pub use tracesim::{RunResult, TimeSeries, TraceSimConfig};

@@ -35,7 +35,10 @@ use cvr_net::channel::AckChannel;
 use cvr_net::estimate::{
     BandwidthEstimator, EmaEstimator, HarmonicMeanEstimator, PolyRegression, SlidingMeanEstimator,
 };
+use cvr_net::impair::{BufferbloatQueue, ImpairmentConfig, Pathology};
+use cvr_net::multilink::{BondedLink, FailoverPolicy};
 use cvr_net::router::{InterferenceMode, WirelessRouter};
+use cvr_net::trace::{TraceGeneratorConfig, TraceProfile};
 
 use crate::allocators::AllocatorKind;
 use crate::event::EventQueue;
@@ -102,6 +105,11 @@ pub struct SystemConfig {
     /// online pipeline where a GPU farm renders and encodes each slot's
     /// tiles before transmission can start.
     pub rendering: RenderingMode,
+    /// Cellular digital-twin scenario: when set, every user's access link
+    /// is replaced by a bonded Wi-Fi + LTE pair whose primary runs the
+    /// configured correlated impairment (see [`NetScenario`]). `None`
+    /// reproduces the paper's clean-medium setups unchanged.
+    pub scenario: Option<NetScenario>,
     /// Record per-slot, per-user time series (chosen level, viewed
     /// quality, delay) into the run result.
     pub record_timeseries: bool,
@@ -132,6 +140,7 @@ impl SystemConfig {
             firefly_headroom: 0.85,
             pose_upload_period_slots: 1,
             rendering: RenderingMode::Offline,
+            scenario: None,
             record_timeseries: false,
             build_threads: 1,
             seed,
@@ -155,6 +164,37 @@ impl SystemConfig {
     }
 }
 
+/// A cellular digital-twin network scenario: which correlated impairment
+/// the primary (Wi-Fi-like) link runs, the bonded-link failover policy,
+/// and the LTE fallback envelope. Built from the generators in
+/// [`cvr_net::impair`] and [`cvr_net::multilink`]; everything is seeded
+/// off [`SystemConfig::seed`], so runs stay bit-identical at every thread
+/// count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetScenario {
+    /// Correlated impairment on the primary link.
+    pub pathology: Pathology,
+    /// Bonded-link failover/recovery policy.
+    pub policy: FailoverPolicy,
+    /// LTE fallback envelope floor, Mbps.
+    pub lte_min_mbps: f64,
+    /// LTE fallback envelope ceiling, Mbps.
+    pub lte_max_mbps: f64,
+}
+
+impl NetScenario {
+    /// The scenario-matrix default: the paper envelope on the impaired
+    /// primary, a weaker 8–25 Mbps LTE fallback, default hysteresis.
+    pub fn paper_default(pathology: Pathology) -> Self {
+        NetScenario {
+            pathology,
+            policy: FailoverPolicy::default(),
+            lte_min_mbps: 8.0,
+            lte_max_mbps: 25.0,
+        }
+    }
+}
+
 /// Result of one full-system run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SystemRunResult {
@@ -169,6 +209,9 @@ pub struct SystemRunResult {
     /// Server tile-cache hit rate (prefetch keeps this high; a cold or
     /// undersized cache forces disk swaps before transmission).
     pub cache_hit_rate: f64,
+    /// Total bonded-link failovers across all users (0 without a
+    /// [`SystemConfig::scenario`]).
+    pub link_switches: u64,
     /// Per-user summaries.
     pub users: Vec<UserQoeSummary>,
     /// Per-slot series, present when
@@ -399,6 +442,41 @@ pub fn run_instrumented(
 
     // Server-side tile cache (shared across users, as in the real server).
     let mut server_cache = ServerTileCache::new(20_000);
+
+    // Digital-twin access links (when a scenario is configured): each
+    // user's primary runs the scenario's correlated impairment, bonded to
+    // an LTE-like fallback under the deterministic failover policy. The
+    // traces are pure functions of (config, seed), so scenario runs stay
+    // bit-identical at every build-thread count.
+    let mut bonded: Option<Vec<BondedLink>> = config.scenario.map(|sc| {
+        let impairment = ImpairmentConfig {
+            duration_s: config.duration_s.max(60.0),
+            ..ImpairmentConfig::paper_default(sc.pathology)
+        };
+        let primaries = impairment.generate_group(n, config.seed ^ 0x11AA_55EE);
+        primaries
+            .into_iter()
+            .enumerate()
+            .map(|(u, wifi)| {
+                let lte_cfg = TraceGeneratorConfig {
+                    profile: TraceProfile::LteLike,
+                    min_mbps: sc.lte_min_mbps,
+                    max_mbps: sc.lte_max_mbps,
+                    duration_s: impairment.duration_s,
+                };
+                let lte = lte_cfg.generate(
+                    config.seed.wrapping_mul(0xC2B2_AE35).wrapping_add(u as u64) ^ 0x17E0_17E0,
+                );
+                BondedLink::new(wifi, lte, sc.policy)
+            })
+            .collect()
+    });
+    // Deep RLC downlink buffers, only for the bufferbloat pathology: the
+    // rate trace alone is benign; the latency inflation lives here.
+    let mut bloat: Option<Vec<BufferbloatQueue>> = config.scenario.and_then(|sc| {
+        (sc.pathology == Pathology::Bufferbloat)
+            .then(|| (0..n).map(|_| BufferbloatQueue::rlc_default()).collect())
+    });
 
     // Online-rendering farm (Section VIII), if configured.
     let mut farm: Option<Vec<cvr_render::gpu::Gpu>> = match config.rendering {
@@ -642,6 +720,20 @@ pub fn run_instrumented(
             }
         }
 
+        // Bonded access link: the router share is further capped by the
+        // active radio's bandwidth at this instant. A dead primary fails
+        // over to LTE per the policy; when both radios are down the floor
+        // keeps the M/M/1 model defined and the resulting delay saturates
+        // at the drop cap — the handover-gap failure mode. The capped
+        // value also feeds the bandwidth estimators below, so link
+        // switches exercise the server's EMA exactly as on the live path.
+        if let Some(links) = &mut bonded {
+            for u in 0..n {
+                let sample = links[u].sample(now);
+                effective_bn[u] = effective_bn[u].min(sample.active_mbps).max(0.1);
+            }
+        }
+
         for u in 0..n {
             let q = assignment[u];
             let rate = engine.rates(u)[q.index()];
@@ -691,8 +783,16 @@ pub fn run_instrumented(
             // plus propagation, saturating at the drop threshold.
             let service = Mm1Delay::new(effective_bn[u]).expect("positive capacity");
             let queue_delay_slots = service.delay(rate);
+            // RLC bufferbloat (scenario-gated): the deep downlink buffer
+            // absorbs the overload instead of shedding it, so saturation
+            // shows up as queue-growth latency on top of the M/M/1 sojourn.
+            let bloat_delay_slots = match &mut bloat {
+                Some(queues) => queues[u].step(rate, effective_bn[u], dt) / dt,
+                None => 0.0,
+            };
             let delay_slots =
-                (render_delay_slots + queue_delay_slots + PROPAGATION_S / dt).min(DELAY_CAP_SLOTS);
+                (render_delay_slots + queue_delay_slots + bloat_delay_slots + PROPAGATION_S / dt)
+                    .min(DELAY_CAP_SLOTS);
 
             transfers += 1;
             let packets = packets_for_rate(rate, dt, config.packet_size_kbit);
@@ -761,6 +861,10 @@ pub fn run_instrumented(
         fps: 60.0 * frames_displayed as f64 / frames_total.max(1) as f64,
         loss_rate: transfers_lost as f64 / transfers.max(1) as f64,
         cache_hit_rate: cache_hits as f64 / (cache_hits + cache_misses).max(1) as f64,
+        link_switches: bonded
+            .as_ref()
+            .map(|links| links.iter().map(|l| l.switches()).sum())
+            .unwrap_or(0),
         users,
         timeseries,
     };
@@ -1032,6 +1136,87 @@ mod tests {
         let r = run(&cfg, AllocatorKind::Firefly);
         assert!(r.fps > 0.0);
         assert_eq!(r.users.len(), cfg.num_users);
+    }
+
+    #[test]
+    fn scenario_runs_are_deterministic_across_build_threads() {
+        for pathology in Pathology::ALL {
+            let cfg = SystemConfig {
+                scenario: Some(NetScenario::paper_default(pathology)),
+                ..tiny(31)
+            };
+            let baseline = run(&cfg, AllocatorKind::DensityValueGreedy);
+            let threaded = SystemConfig {
+                build_threads: 3,
+                ..cfg.clone()
+            };
+            assert_eq!(
+                run(&threaded, AllocatorKind::DensityValueGreedy),
+                baseline,
+                "{pathology:?} diverged across build threads"
+            );
+        }
+    }
+
+    #[test]
+    fn handover_scenario_forces_failovers() {
+        let clean = SystemConfig {
+            duration_s: 10.0,
+            ..tiny(33)
+        };
+        let impaired = SystemConfig {
+            scenario: Some(NetScenario::paper_default(Pathology::Handover)),
+            ..clean.clone()
+        };
+        let clean_run = run(&clean, AllocatorKind::DensityValueGreedy);
+        let impaired_run = run(&impaired, AllocatorKind::DensityValueGreedy);
+        assert_eq!(clean_run.link_switches, 0, "no scenario, no switches");
+        assert!(
+            impaired_run.link_switches >= 1,
+            "handover gaps must trigger failovers, got {}",
+            impaired_run.link_switches
+        );
+    }
+
+    #[test]
+    fn fading_scenario_hurts_qoe_versus_clean_medium() {
+        let clean = SystemConfig {
+            duration_s: 10.0,
+            ..tiny(33)
+        };
+        let impaired = SystemConfig {
+            scenario: Some(NetScenario::paper_default(Pathology::MarkovFading)),
+            ..clean.clone()
+        };
+        let clean_run = run(&clean, AllocatorKind::DensityValueGreedy);
+        let impaired_run = run(&impaired, AllocatorKind::DensityValueGreedy);
+        assert!(
+            impaired_run.summary.avg_qoe < clean_run.summary.avg_qoe,
+            "impaired {} should trail clean {}",
+            impaired_run.summary.avg_qoe,
+            clean_run.summary.avg_qoe
+        );
+    }
+
+    #[test]
+    fn bufferbloat_punishes_delay_blind_allocation() {
+        // The deep RLC buffer absorbs whatever a delay-blind allocator
+        // (PAVQ) pushes into it, so its delay balloons; the delay-aware
+        // objective backs off before the queue grows — the paper's core
+        // claim, reproduced under the bloat pathology.
+        let cfg = SystemConfig {
+            scenario: Some(NetScenario::paper_default(Pathology::Bufferbloat)),
+            duration_s: 10.0,
+            ..tiny(33)
+        };
+        let ours = run(&cfg, AllocatorKind::DensityValueGreedy);
+        let blind = run(&cfg, AllocatorKind::Pavq);
+        assert!(
+            blind.summary.avg_delay > ours.summary.avg_delay,
+            "delay-blind {} should exceed delay-aware {}",
+            blind.summary.avg_delay,
+            ours.summary.avg_delay
+        );
     }
 
     #[test]
