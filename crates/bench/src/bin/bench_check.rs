@@ -1,6 +1,8 @@
-//! CI bench gate: reads the `BENCH_*.json` artifacts written by
-//! `slot_engine` and `scale` and fails (exit code 1) when a performance or
-//! determinism regression slipped in:
+//! CI bench gate: reads the `BENCH_*.json` artifacts written by the
+//! bench binaries and fails (exit code 1) when a performance or
+//! determinism regression slipped in. One [`GateSpec`] row per
+//! artifact — adding a new bench to the gate is one table row plus its
+//! check function:
 //!
 //! * `BENCH_slot_engine.json` — every synthetic workload must keep the
 //!   slot-engine speedup ≥ 1.5× over the pre-engine path, with identical
@@ -28,6 +30,11 @@
 //!   carry identical determinism fingerprints, and Algorithm 1
 //!   (`ours`) must keep QoE ≥ each baseline on at least 4 of the 5
 //!   pathologies.
+//! * `BENCH_mcast.json` — the multicast classroom must lift delivered
+//!   quality ≥ 1.2× over unicast at ≥ 32 co-located users while putting
+//!   fewer megabits on the wire, stay bit-identical across thread
+//!   counts, and keep one-member groups bit-identical to the unicast
+//!   path (singleton parity).
 //!
 //! Run after the benches: `cargo run -p cvr-bench --release --bin bench_check`
 
@@ -51,13 +58,66 @@ const NET_PATHOLOGIES: [&str; 5] = [
 ];
 const NET_BASELINES: [&str; 2] = ["firefly", "pavq"];
 const MIN_NET_WINS: usize = 4;
+const MIN_MCAST_GAIN: f64 = 1.2;
+const MIN_MCAST_GAIN_USERS: usize = 32;
 
+/// One row of the gate table: which artifact to load and which check
+/// function judges it.
+struct GateSpec {
+    name: &'static str,
+    file: &'static str,
+    check: fn(&mut Gate, &Json),
+}
+
+/// The declarative gate table `main` walks. New benches join the gate
+/// by adding one row here.
+const GATES: [GateSpec; 7] = [
+    GateSpec {
+        name: "slot_engine",
+        file: "BENCH_slot_engine.json",
+        check: check_slot_engine,
+    },
+    GateSpec {
+        name: "parallel",
+        file: "BENCH_parallel.json",
+        check: check_parallel,
+    },
+    GateSpec {
+        name: "serve",
+        file: "BENCH_serve.json",
+        check: check_serve,
+    },
+    GateSpec {
+        name: "build",
+        file: "BENCH_build.json",
+        check: check_build,
+    },
+    GateSpec {
+        name: "obs",
+        file: "BENCH_obs.json",
+        check: check_obs,
+    },
+    GateSpec {
+        name: "net",
+        file: "BENCH_net.json",
+        check: check_net,
+    },
+    GateSpec {
+        name: "mcast",
+        file: "BENCH_mcast.json",
+        check: check_mcast,
+    },
+];
+
+#[derive(Default)]
 struct Gate {
+    checks: usize,
     failures: Vec<String>,
 }
 
 impl Gate {
     fn check(&mut self, ok: bool, message: String) {
+        self.checks += 1;
         if ok {
             println!("ok   {message}");
         } else {
@@ -429,26 +489,118 @@ fn check_net(gate: &mut Gate, doc: &Json) {
     }
 }
 
+fn check_mcast(gate: &mut Gate, doc: &Json) {
+    gate.check(
+        doc.get("deterministic")
+            .and_then(Json::as_bool)
+            .unwrap_or(false),
+        "mcast: classroom bit-identical across thread counts".to_string(),
+    );
+    gate.check(
+        doc.get("singleton_parity")
+            .and_then(Json::as_bool)
+            .unwrap_or(false),
+        "mcast: one-member groups bit-identical to the unicast path".to_string(),
+    );
+    let rows = doc
+        .get("rows")
+        .and_then(Json::as_array)
+        .expect("mcast JSON has a `rows` array");
+    gate.check(
+        !rows.is_empty(),
+        "mcast: at least one classroom size".to_string(),
+    );
+    let mut saw_crowded = false;
+    for row in rows {
+        let users = row.get("users").and_then(Json::as_f64).unwrap_or(0.0) as usize;
+        let fp_main = row.get("fingerprint_main").and_then(Json::as_str);
+        let fp_check = row.get("fingerprint_check").and_then(Json::as_str);
+        gate.check(
+            fp_main.is_some() && fp_main == fp_check,
+            format!(
+                "mcast @ {users} users: fingerprints match ({} vs {})",
+                fp_main.unwrap_or("missing"),
+                fp_check.unwrap_or("missing")
+            ),
+        );
+        if users < MIN_MCAST_GAIN_USERS {
+            continue;
+        }
+        saw_crowded = true;
+        let gain = row.get("gain").and_then(Json::as_f64).unwrap_or(f64::NAN);
+        let uni_wire = row
+            .get("unicast_wire_mbit")
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN);
+        let multi_wire = row
+            .get("multicast_wire_mbit")
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN);
+        let groups = row.get("peak_groups").and_then(Json::as_f64).unwrap_or(0.0) as usize;
+        gate.check(
+            gain >= MIN_MCAST_GAIN,
+            format!(
+                "mcast @ {users} users: delivered-quality gain {gain:.3}x >= {MIN_MCAST_GAIN}x"
+            ),
+        );
+        gate.check(
+            multi_wire < uni_wire,
+            format!(
+                "mcast @ {users} users: wire {multi_wire:.1} Mbit < unicast {uni_wire:.1} Mbit"
+            ),
+        );
+        gate.check(
+            groups >= 1,
+            format!("mcast @ {users} users: multicast groups actually formed"),
+        );
+    }
+    gate.check(
+        saw_crowded,
+        format!("mcast: sweep reaches >= {MIN_MCAST_GAIN_USERS} co-located users"),
+    );
+}
+
 fn main() {
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
-    let mut gate = Gate {
-        failures: Vec::new(),
-    };
 
     println!("# Bench gate\n");
-    check_slot_engine(&mut gate, &load(&format!("{root}/BENCH_slot_engine.json")));
-    check_parallel(&mut gate, &load(&format!("{root}/BENCH_parallel.json")));
-    check_serve(&mut gate, &load(&format!("{root}/BENCH_serve.json")));
-    check_build(&mut gate, &load(&format!("{root}/BENCH_build.json")));
-    check_obs(&mut gate, &load(&format!("{root}/BENCH_obs.json")));
-    check_net(&mut gate, &load(&format!("{root}/BENCH_net.json")));
+    let mut summaries: Vec<String> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    for spec in &GATES {
+        println!("## {}", spec.name);
+        let mut gate = Gate::default();
+        (spec.check)(&mut gate, &load(&format!("{root}/{}", spec.file)));
+        let passed = gate.checks - gate.failures.len();
+        let verdict = if gate.failures.is_empty() {
+            "PASS"
+        } else {
+            "FAIL"
+        };
+        let summary = format!(
+            "{verdict} {name}: {passed}/{total} checks passed ({file})",
+            name = spec.name,
+            total = gate.checks,
+            file = spec.file,
+        );
+        println!("{summary}\n");
+        summaries.push(summary);
+        failures.extend(
+            gate.failures
+                .into_iter()
+                .map(|f| format!("[{}] {f}", spec.name)),
+        );
+    }
 
+    println!("# Summary");
+    for line in &summaries {
+        println!("{line}");
+    }
     println!();
-    if gate.failures.is_empty() {
+    if failures.is_empty() {
         println!("bench gate: all checks passed");
     } else {
-        println!("bench gate: {} check(s) FAILED:", gate.failures.len());
-        for f in &gate.failures {
+        println!("bench gate: {} check(s) FAILED:", failures.len());
+        for f in &failures {
             println!("  - {f}");
         }
         std::process::exit(1);

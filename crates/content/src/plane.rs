@@ -156,9 +156,13 @@ impl RatePlane {
     }
 }
 
-/// Encoded orientation-bucket key of one pose. `None` means the pose sits
-/// too close to a tile-membership breakpoint to be bucketed safely.
-type OrientationKey = (i64, i64);
+/// Encoded orientation-bucket key of one pose: `(yaw_bucket, pitch_bucket)`
+/// under the spec's exact quantum. Two poses with the same key are
+/// guaranteed to see the identical FoV tile set, which is what makes the
+/// key safe to use for cross-user grouping (`cvr-mcast` keys multicast
+/// groups on it). A pose that sits too close to a tile-membership
+/// breakpoint has no key.
+pub type OrientationKey = (i64, i64);
 
 /// Reuses the previous slot's FoV tile set while the predicted pose stays
 /// inside the same quantised-orientation bucket.
@@ -267,38 +271,186 @@ impl FovRequestCache {
     }
 
     fn orientation_key(&self, pose: &Pose) -> Option<OrientationKey> {
-        let q = self.quantum?;
-        let half_w = self.spec.width_deg / 2.0 + self.spec.margin_deg;
-        let yaw_key = if half_w >= 180.0 {
-            // Every yaw overlaps every tile: orientation yaw is irrelevant.
-            0
-        } else {
-            Self::bucket(pose.orientation.yaw, q)?
-        };
-        let pitch = pose.orientation.pitch;
-        let pitch_key = if pitch >= 90.0 {
-            POLE_KEY
-        } else if pitch <= -90.0 {
-            -POLE_KEY
-        } else {
-            Self::bucket(pitch, q)?
-        };
-        Some((yaw_key, pitch_key))
+        orientation_key_for(&self.spec, self.quantum?, pose)
     }
 
-    /// The bucket index of `v`, or `None` when `v` sits inside the guard
-    /// band of a bucket boundary (or is too large to index safely).
-    fn bucket(v: f64, q: f64) -> Option<i64> {
-        let scaled = v / q;
-        if !scaled.is_finite() || scaled.abs() >= 1e15 {
-            return None;
+    /// The orientation-bucket key of `pose` under this cache's spec, or
+    /// `None` when the pose is breakpoint-adjacent (or the spec's
+    /// breakpoints do not align with the quantum). Poses sharing a key
+    /// provably share a FoV tile set.
+    pub fn bucket_key(&self, pose: &Pose) -> Option<OrientationKey> {
+        self.orientation_key(pose)
+    }
+}
+
+/// The orientation-bucket key of `pose` for a spec whose breakpoints align
+/// with `quantum`; shared by [`FovRequestCache`] and [`SharedFovCache`].
+fn orientation_key_for(spec: &FovSpec, quantum: f64, pose: &Pose) -> Option<OrientationKey> {
+    let half_w = spec.width_deg / 2.0 + spec.margin_deg;
+    let yaw_key = if half_w >= 180.0 {
+        // Every yaw overlaps every tile: orientation yaw is irrelevant.
+        0
+    } else {
+        bucket(pose.orientation.yaw, quantum)?
+    };
+    let pitch = pose.orientation.pitch;
+    let pitch_key = if pitch >= 90.0 {
+        POLE_KEY
+    } else if pitch <= -90.0 {
+        -POLE_KEY
+    } else {
+        bucket(pitch, quantum)?
+    };
+    Some((yaw_key, pitch_key))
+}
+
+/// The bucket index of `v`, or `None` when `v` sits inside the guard
+/// band of a bucket boundary (or is too large to index safely).
+fn bucket(v: f64, q: f64) -> Option<i64> {
+    let scaled = v / q;
+    if !scaled.is_finite() || scaled.abs() >= 1e15 {
+        return None;
+    }
+    let floor = scaled.floor();
+    let frac = scaled - floor;
+    if !(BOUNDARY_GUARD..=1.0 - BOUNDARY_GUARD).contains(&frac) {
+        return None;
+    }
+    Some(floor as i64)
+}
+
+/// Default number of resident orientation buckets in a
+/// [`SharedFovCache`] — a classroom's worth of distinct gaze directions.
+pub const DEFAULT_SHARED_FOV_BUCKETS: usize = 256;
+
+/// One materialised orientation bucket of a [`SharedFovCache`].
+#[derive(Debug, Clone)]
+struct SharedBucket {
+    tiles: Vec<TileId>,
+    last_touch: u64,
+}
+
+/// Session-scope FoV tile-set cache shared by every co-located user.
+///
+/// [`FovRequestCache`] holds exactly one bucket per *user*, so N users
+/// staring at the same whiteboard materialise the identical tile set N
+/// times. This cache hoists the materialisation to session scope: a
+/// bounded LRU map from [`OrientationKey`] to tile set, shared by all
+/// users of a session (or all users of a simulation), with the same
+/// exactness guarantee — a bucketable pose's set is bit-identical to
+/// [`tiles_for_pose`](crate::tile::tiles_for_pose), and unbucketable
+/// poses (breakpoint-adjacent, or any pose under a non-aligned spec)
+/// always recompute into a scratch buffer.
+#[derive(Debug, Clone)]
+pub struct SharedFovCache {
+    spec: FovSpec,
+    /// Bucket quantum in degrees; `None` disables bucket sharing.
+    quantum: Option<f64>,
+    capacity: usize,
+    clock: u64,
+    buckets: HashMap<OrientationKey, SharedBucket>,
+    scratch: Vec<TileId>,
+    hits: u64,
+    misses: u64,
+}
+
+impl SharedFovCache {
+    /// Creates a shared cache for `spec` with the default bucket budget,
+    /// enabling bucket reuse only when the quantum is provably exact.
+    pub fn new(spec: FovSpec) -> Self {
+        SharedFovCache::with_capacity(spec, DEFAULT_SHARED_FOV_BUCKETS)
+    }
+
+    /// Creates a shared cache holding at most `capacity` buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(spec: FovSpec, capacity: usize) -> Self {
+        assert!(capacity > 0, "shared fov cache capacity must be positive");
+        SharedFovCache {
+            spec,
+            quantum: FovRequestCache::exact_quantum(&spec),
+            capacity,
+            clock: 0,
+            buckets: HashMap::new(),
+            scratch: Vec::with_capacity(usize::from(TileId::COUNT)),
+            hits: 0,
+            misses: 0,
         }
-        let floor = scaled.floor();
-        let frac = scaled - floor;
-        if !(BOUNDARY_GUARD..=1.0 - BOUNDARY_GUARD).contains(&frac) {
-            return None;
+    }
+
+    /// Whether bucket reuse is enabled for this spec.
+    pub fn enabled(&self) -> bool {
+        self.quantum.is_some()
+    }
+
+    /// `(hits, misses)` counters; a miss recomputes one tile set.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of resident orientation buckets.
+    pub fn resident_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The orientation-bucket key of `pose`, or `None` when the pose
+    /// cannot be bucketed safely. Poses sharing a key provably share the
+    /// FoV tile set this cache returns for them.
+    pub fn key_for(&self, pose: &Pose) -> Option<OrientationKey> {
+        orientation_key_for(&self.spec, self.quantum?, pose)
+    }
+
+    /// The FoV tile set for `pose`, identical to
+    /// `tiles_for_pose(&spec, pose)` — served from the shared bucket map
+    /// whenever any user has already materialised this orientation bucket.
+    pub fn tiles_for(&mut self, pose: &Pose) -> &[TileId] {
+        let Some(key) = self.key_for(pose) else {
+            self.misses += 1;
+            tiles_for_pose_into(&self.spec, pose, &mut self.scratch);
+            return &self.scratch;
+        };
+        self.clock += 1;
+        let clock = self.clock;
+        if !self.buckets.contains_key(&key) {
+            self.misses += 1;
+            if self.buckets.len() >= self.capacity {
+                self.evict_stale_half();
+            }
+            let mut tiles = Vec::with_capacity(usize::from(TileId::COUNT));
+            tiles_for_pose_into(&self.spec, pose, &mut tiles);
+            self.buckets.insert(
+                key,
+                SharedBucket {
+                    tiles,
+                    last_touch: clock,
+                },
+            );
+        } else {
+            self.hits += 1;
         }
-        Some(floor as i64)
+        let entry = self.buckets.get_mut(&key).expect("just ensured");
+        entry.last_touch = clock;
+        #[cfg(debug_assertions)]
+        {
+            let mut fresh = Vec::new();
+            tiles_for_pose_into(&self.spec, pose, &mut fresh);
+            debug_assert_eq!(
+                fresh, entry.tiles,
+                "SharedFovCache bucket diverged from tiles_for_pose"
+            );
+        }
+        &entry.tiles
+    }
+
+    /// Evicts the least-recently-touched half of the resident buckets (at
+    /// least one), amortising eviction like [`RatePlane`].
+    fn evict_stale_half(&mut self) {
+        let mut touches: Vec<u64> = self.buckets.values().map(|e| e.last_touch).collect();
+        touches.sort_unstable();
+        let cutoff = touches[(touches.len() - 1) / 2];
+        self.buckets.retain(|_, e| e.last_touch > cutoff);
     }
 }
 
@@ -456,6 +608,87 @@ mod tests {
         assert_eq!(first, tiles_for_pose(&spec, &a));
         assert_eq!(second, tiles_for_pose(&spec, &b));
         assert_eq!(cache.stats().0, 1, "clamped poses share the pole bucket");
+    }
+
+    #[test]
+    fn shared_fov_cache_matches_brute_force_for_interleaved_users() {
+        let spec = FovSpec::paper_default();
+        let mut shared = SharedFovCache::new(spec);
+        assert!(shared.enabled());
+        // Three "users" staring near the same target, queried interleaved:
+        // every answer must equal brute force, and the second user onward
+        // must hit the bucket the first user materialised.
+        let gazes = [(31.0, 4.0), (32.5, 5.5), (33.9, 3.1)];
+        for round in 0..3 {
+            for (i, (yaw, pitch)) in gazes.iter().enumerate() {
+                let p = pose(*yaw, *pitch);
+                assert_eq!(
+                    shared.tiles_for(&p),
+                    tiles_for_pose(&spec, &p).as_slice(),
+                    "round {round} user {i}"
+                );
+            }
+        }
+        let (hits, misses) = shared.stats();
+        assert_eq!(misses, 1, "one bucket materialisation serves all users");
+        assert_eq!(hits, 8);
+    }
+
+    #[test]
+    fn shared_fov_cache_key_equality_implies_tile_equality() {
+        let spec = FovSpec::paper_default();
+        let mut shared = SharedFovCache::new(spec);
+        let a = pose(91.0, 2.0);
+        let b = pose(93.5, 6.0);
+        if shared.key_for(&a) == shared.key_for(&b) && shared.key_for(&a).is_some() {
+            assert_eq!(shared.tiles_for(&a).to_vec(), shared.tiles_for(&b));
+        }
+        // Breakpoint poses have no key and recompute via scratch.
+        let bp = pose(7.5, 0.1);
+        assert_eq!(shared.key_for(&bp), None);
+        assert_eq!(shared.tiles_for(&bp), tiles_for_pose(&spec, &bp).as_slice());
+    }
+
+    #[test]
+    fn shared_fov_cache_bucket_budget_is_respected_under_churn() {
+        let spec = FovSpec::paper_default();
+        let mut shared = SharedFovCache::with_capacity(spec, 4);
+        let mut yaw = -170.0;
+        while yaw < 170.0 {
+            let p = pose(yaw, 3.0);
+            assert_eq!(shared.tiles_for(&p), tiles_for_pose(&spec, &p).as_slice());
+            assert!(shared.resident_buckets() <= 4);
+            yaw += 9.1;
+        }
+    }
+
+    #[test]
+    fn shared_fov_cache_disabled_spec_always_recomputes() {
+        let spec = FovSpec {
+            width_deg: 100.0,
+            ..FovSpec::paper_default()
+        };
+        let mut shared = SharedFovCache::new(spec);
+        assert!(!shared.enabled());
+        for (yaw, pitch) in [(0.0, 0.0), (90.0, 30.0), (90.0, 30.0)] {
+            let p = pose(yaw, pitch);
+            assert_eq!(shared.key_for(&p), None);
+            assert_eq!(shared.tiles_for(&p), tiles_for_pose(&spec, &p).as_slice());
+        }
+        assert_eq!(shared.stats().0, 0, "disabled shared cache never hits");
+    }
+
+    #[test]
+    fn bucket_key_agrees_between_per_user_and_shared_caches() {
+        let spec = FovSpec::paper_default();
+        let per_user = FovRequestCache::new(spec);
+        let shared = SharedFovCache::new(spec);
+        let mut yaw = -50.0;
+        while yaw < 50.0 {
+            let p = pose(yaw, yaw / 3.0);
+            assert_eq!(per_user.bucket_key(&p), shared.key_for(&p), "yaw {yaw}");
+            yaw += 1.3;
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use cvr_content::cache::{ClientTileBuffer, DeliveryLedger, ServerTileCache, UndeliveredSums};
 use cvr_content::grid::{CellId, GridWorld};
 use cvr_content::id::VideoId;
-use cvr_content::plane::{FovRequestCache, RatePlane};
+use cvr_content::plane::{FovRequestCache, RatePlane, SharedFovCache};
 use cvr_content::sizing::TileSizeModel;
 use cvr_content::tile::{tiles_for_pose, TileId};
 use cvr_core::quality::QualityLevel;
@@ -189,6 +189,52 @@ proptest! {
                     brute,
                     sums.sums()[l]
                 );
+            }
+        }
+    }
+
+    // The session-scope shared FoV cache must give *every* interleaved
+    // user the brute-force tile set, agree with the per-user cache's
+    // bucket keys, and — whenever two users share a key — hand both the
+    // identical set (the property multicast group keying relies on).
+    #[test]
+    fn shared_fov_cache_matches_brute_force_for_interleaved_walks(
+        starts in prop::collection::vec(arb_pose(), 2..5),
+        steps in prop::collection::vec(
+            prop::collection::vec((-0.3f64..0.3, -0.3f64..0.3, -20.0f64..20.0, -10.0f64..10.0), 2..5),
+            1..40,
+        ),
+    ) {
+        let spec = FovSpec::paper_default();
+        // Tiny bucket budget so walks exercise eviction and re-entry.
+        let mut shared = SharedFovCache::with_capacity(spec, 4);
+        let per_user: Vec<FovRequestCache> =
+            starts.iter().map(|_| FovRequestCache::new(spec)).collect();
+        let mut poses = starts;
+        for step in steps {
+            let mut keyed: Vec<(i64, i64, Vec<TileId>)> = Vec::new();
+            for (u, pose) in poses.iter_mut().enumerate() {
+                if let Some((dx, dz, dyaw, dpitch)) = step.get(u % step.len()).copied() {
+                    *pose = Pose::new(
+                        Vec3::new(pose.position.x + dx, 1.7, pose.position.z + dz),
+                        Orientation::new(
+                            pose.orientation.yaw + dyaw,
+                            pose.orientation.pitch + dpitch,
+                            0.0,
+                        ),
+                    );
+                }
+                let tiles = shared.tiles_for(pose).to_vec();
+                prop_assert_eq!(&tiles, &tiles_for_pose(&spec, pose));
+                prop_assert_eq!(shared.key_for(pose), per_user[u].bucket_key(pose));
+                if let Some((yk, pk)) = shared.key_for(pose) {
+                    for (oyk, opk, other) in &keyed {
+                        if (*oyk, *opk) == (yk, pk) {
+                            prop_assert_eq!(other, &tiles, "shared key, different tiles");
+                        }
+                    }
+                    keyed.push((yk, pk, tiles));
+                }
             }
         }
     }

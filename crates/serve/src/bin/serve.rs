@@ -5,7 +5,7 @@
 //! ```text
 //! cvr-serve --listen 127.0.0.1:7015 --clients 8 --slots 200 \
 //!     [--sessions 4] [--shards 2] [--slot-ms 15] \
-//!     [--metrics-addr 127.0.0.1:9090]
+//!     [--metrics-addr 127.0.0.1:9090] [--multicast]
 //! ```
 //!
 //! Clients are routed to the least-joined session by the host's control
@@ -40,6 +40,7 @@ struct Args {
     slots: u64,
     slot_ms: f64,
     metrics_addr: Option<String>,
+    multicast: bool,
 }
 
 fn parse_args() -> Args {
@@ -51,6 +52,7 @@ fn parse_args() -> Args {
         slots: 200,
         slot_ms: 15.0,
         metrics_addr: None,
+        multicast: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -66,6 +68,7 @@ fn parse_args() -> Args {
             "--slots" => args.slots = value().parse().expect("--slots"),
             "--slot-ms" => args.slot_ms = value().parse().expect("--slot-ms"),
             "--metrics-addr" => args.metrics_addr = Some(value()),
+            "--multicast" => args.multicast = true,
             other => panic!("unknown flag {other}"),
         }
     }
@@ -77,6 +80,7 @@ fn main() {
     let args = parse_args();
     let config = ServeConfig {
         slot_duration: Duration::from_secs_f64(args.slot_ms / 1000.0),
+        multicast: args.multicast,
         ..ServeConfig::default()
     };
     let queue_frames = config.outbound_queue_frames;

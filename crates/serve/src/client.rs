@@ -22,6 +22,7 @@ use cvr_core::quality::QualityLevel;
 use cvr_motion::synthetic::{MotionConfig, MotionGenerator};
 use cvr_net::multilink::{BondedLink, LinkId};
 use cvr_obs::{Histogram, HistogramSummary};
+use cvr_sim::system::PIPELINE_SLOTS;
 
 use crate::protocol::{ClientMessage, ServerMessage, PROTOCOL_VERSION};
 use crate::transport::ClientTransport;
@@ -51,6 +52,10 @@ pub struct ClientConfig {
     /// failover policy see the same deterministic radio timeline as the
     /// simulator.
     pub bonded: Option<BondedLink>,
+    /// Protocol version announced in the Hello. Defaults to
+    /// [`PROTOCOL_VERSION`]; the v2↔v3 compatibility tests pin it to an
+    /// older version to exercise the server's unicast fallback.
+    pub protocol_version: u16,
 }
 
 impl Default for ClientConfig {
@@ -62,6 +67,7 @@ impl Default for ClientConfig {
             buffer_tiles: 600,
             bandwidth_mbps: 50.0,
             bonded: None,
+            protocol_version: PROTOCOL_VERSION,
         }
     }
 }
@@ -124,7 +130,7 @@ impl<T: ClientTransport> ReplayClient<T> {
     /// Creates the client and immediately sends its `Hello`.
     pub fn new(mut transport: T, config: ClientConfig) -> Self {
         transport.send(&ClientMessage::Hello {
-            version: PROTOCOL_VERSION,
+            version: config.protocol_version,
             seed: config.seed,
         });
         let motion = MotionGenerator::new(
@@ -275,6 +281,37 @@ impl<T: ClientTransport> ReplayClient<T> {
                     } else {
                         self.displayed_quality = Some(QualityLevel::new(quality));
                         self.displayed_lag_slots = self.seq.saturating_sub(pose_seq) as f64;
+                    }
+                }
+                Ok(ServerMessage::GroupAssign {
+                    quality, manifest, ..
+                }) => {
+                    // v3 multicast frame: identical bytes for every group
+                    // member, so there is no pose echo to measure RTT
+                    // against — the display lag is the pipeline depth.
+                    if self.config.protocol_version < crate::protocol::PROTOCOL_VERSION {
+                        // The server must never fan a v3 frame out to a
+                        // client that negotiated v2.
+                        self.protocol_errors += 1;
+                        continue;
+                    }
+                    self.assignments += 1;
+                    if !manifest.is_empty() {
+                        let mut released = Vec::new();
+                        for &vid in &manifest {
+                            released.extend(self.buffer.store(vid));
+                        }
+                        self.transport.send(&ClientMessage::Ack { ids: manifest });
+                        if !released.is_empty() {
+                            self.transport
+                                .send(&ClientMessage::Release { ids: released });
+                        }
+                    }
+                    if quality == 0 || quality > self.levels {
+                        self.protocol_errors += 1;
+                    } else {
+                        self.displayed_quality = Some(QualityLevel::new(quality));
+                        self.displayed_lag_slots = PIPELINE_SLOTS as f64;
                     }
                 }
                 Ok(ServerMessage::Shutdown) => {

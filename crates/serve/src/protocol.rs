@@ -23,11 +23,19 @@ use cvr_motion::pose::Pose;
 use cvr_net::multilink::LinkId;
 
 /// Current protocol version, carried in `Hello` and `Welcome`. A server
-/// refuses clients speaking a different version.
+/// refuses clients speaking a version it cannot serve; v2 clients are
+/// still admitted (served over the unicast path, see
+/// [`MIN_PROTOCOL_VERSION`]).
 ///
 /// Version 2 added `LinkSample` (per-radio bandwidth reports from bonded
-/// multi-link clients).
-pub const PROTOCOL_VERSION: u16 = 2;
+/// multi-link clients). Version 3 added `GroupAssign` (one multicast
+/// frame fanned out to every member of a shared-FoV group).
+pub const PROTOCOL_VERSION: u16 = 3;
+
+/// Oldest protocol version the server still admits. A v2 client in a
+/// multicast session is served per-user `Assignment`s (unicast fallback)
+/// and is never placed in a multicast group.
+pub const MIN_PROTOCOL_VERSION: u16 = 2;
 
 /// Upper bound on a frame payload; larger length prefixes are treated as
 /// corruption (a manifest of every tile in a session is far smaller).
@@ -99,6 +107,8 @@ pub mod tag {
     pub const ASSIGNMENT: u8 = 0x82;
     /// Server `Shutdown`.
     pub const SHUTDOWN: u8 = 0x83;
+    /// Server `GroupAssign` (multicast fan-out, protocol v3).
+    pub const GROUP_ASSIGN: u8 = 0x84;
 }
 
 /// A message travelling client → server.
@@ -178,6 +188,25 @@ pub enum ServerMessage {
         /// The transmission rate backing the allocation, Mbps.
         rate_mbps: f64,
         /// Tiles being sent this slot (ledger-suppressed manifest).
+        manifest: Vec<VideoId>,
+    },
+    /// One slot's allocation for a shared-FoV multicast group (protocol
+    /// v3). Encoded once per delivered quality and fanned out verbatim to
+    /// every member receiving that quality: the payload carries no
+    /// per-member field, which is what makes the fan-out byte-identical.
+    /// Clients treat it like an `Assignment` without a round-trip echo.
+    GroupAssign {
+        /// Server slot counter when the allocation was made.
+        slot: u64,
+        /// Hysteresis-stable id of the group this frame serves.
+        group_id: u64,
+        /// Delivered quality level (1-based; the group allocation clamped
+        /// to the member's link cap).
+        quality: u8,
+        /// The shared transmission rate backing the group row, Mbps.
+        rate_mbps: f64,
+        /// Tiles being sent this slot (ledger-suppressed manifest,
+        /// identical for every member by group-key construction).
         manifest: Vec<VideoId>,
     },
     /// The session is ending.
@@ -403,6 +432,20 @@ impl ServerMessage {
                 put_f64(buf, *rate_mbps);
                 put_ids(buf, manifest);
             }
+            ServerMessage::GroupAssign {
+                slot,
+                group_id,
+                quality,
+                rate_mbps,
+                manifest,
+            } => {
+                buf.push(tag::GROUP_ASSIGN);
+                put_u64(buf, *slot);
+                put_u64(buf, *group_id);
+                buf.push(*quality);
+                put_f64(buf, *rate_mbps);
+                put_ids(buf, manifest);
+            }
             ServerMessage::Shutdown => buf.push(tag::SHUTDOWN),
         }
     }
@@ -443,6 +486,25 @@ impl ServerMessage {
                 ServerMessage::Assignment {
                     slot,
                     pose_seq,
+                    quality,
+                    rate_mbps,
+                    manifest: r.ids()?,
+                }
+            }
+            tag::GROUP_ASSIGN => {
+                let slot = r.u64()?;
+                let group_id = r.u64()?;
+                let quality = r.u8()?;
+                if quality == 0 {
+                    return Err(WireError::InvalidField("quality level zero"));
+                }
+                let rate_mbps = r.f64()?;
+                if !rate_mbps.is_finite() || rate_mbps < 0.0 {
+                    return Err(WireError::InvalidField("group assignment rate"));
+                }
+                ServerMessage::GroupAssign {
+                    slot,
+                    group_id,
                     quality,
                     rate_mbps,
                     manifest: r.ids()?,
@@ -584,12 +646,59 @@ mod tests {
                 rate_mbps: 36.5,
                 manifest: vec![vid(0, 1, 4), vid(5, 2, 4)],
             },
+            ServerMessage::GroupAssign {
+                slot: 901,
+                group_id: 12,
+                quality: 5,
+                rate_mbps: 74.25,
+                manifest: vec![vid(1, 0, 5), vid(1, 3, 5)],
+            },
             ServerMessage::Shutdown,
         ];
         for m in &messages {
             let payload = m.to_payload();
             assert_eq!(&ServerMessage::decode(&payload).unwrap(), m);
         }
+    }
+
+    #[test]
+    fn group_assign_rejects_bad_fields_and_truncation() {
+        let good = ServerMessage::GroupAssign {
+            slot: 3,
+            group_id: 9,
+            quality: 2,
+            rate_mbps: 12.0,
+            manifest: vec![vid(0, 1, 2)],
+        }
+        .to_payload();
+        for cut in 1..good.len() {
+            assert!(
+                ServerMessage::decode(&good[..cut]).is_err(),
+                "cut at {cut} must not decode"
+            );
+        }
+        // Quality zero.
+        let mut payload = vec![tag::GROUP_ASSIGN];
+        put_u64(&mut payload, 3);
+        put_u64(&mut payload, 9);
+        payload.push(0);
+        put_f64(&mut payload, 12.0);
+        put_u32(&mut payload, 0);
+        assert_eq!(
+            ServerMessage::decode(&payload),
+            Err(WireError::InvalidField("quality level zero"))
+        );
+        // Non-finite rate.
+        let mut payload = vec![tag::GROUP_ASSIGN];
+        put_u64(&mut payload, 3);
+        put_u64(&mut payload, 9);
+        payload.push(2);
+        put_f64(&mut payload, f64::NAN);
+        put_u32(&mut payload, 0);
+        assert_eq!(
+            ServerMessage::decode(&payload),
+            Err(WireError::InvalidField("group assignment rate"))
+        );
     }
 
     #[test]

@@ -241,6 +241,11 @@ impl ServerTransport for NbServerTransport {
         conn.send(message.to_payload())
     }
 
+    fn send_payload(&mut self, payload: &[u8]) -> SendStatus {
+        let mut conn = self.conn.lock().expect("nb conn poisoned");
+        conn.send(payload.to_vec())
+    }
+
     fn queue_depth(&self) -> usize {
         let conn = self.conn.lock().expect("nb conn poisoned");
         conn.out_frames.len() + usize::from(conn.out_cursor < conn.out_buf.len())

@@ -26,13 +26,14 @@ use std::time::{Duration, Instant};
 use cvr_content::cache::{DeliveryLedger, UndeliveredSums};
 use cvr_content::id::VideoId;
 use cvr_content::library::ContentLibrary;
-use cvr_content::plane::{FovRequestCache, RatePlane, DEFAULT_PLANE_CELLS};
+use cvr_content::plane::{RatePlane, SharedFovCache, DEFAULT_PLANE_CELLS};
 use cvr_core::delay::{DelayModel, Mm1Delay};
 use cvr_core::engine::{SlotEngine, StageClock};
 use cvr_core::objective::QoeParams;
 use cvr_core::qoe::{UserQoeAccumulator, UserQoeSummary};
 use cvr_core::quality::QualityLevel;
 use cvr_core::variance::VarianceTracker;
+use cvr_mcast::{content_fingerprint, stage_group, GroupKey, GroupMember, GroupTracker};
 use cvr_motion::accuracy::DeltaEstimator;
 use cvr_motion::pose::Pose;
 use cvr_motion::predict::LinearPredictor;
@@ -42,7 +43,7 @@ use cvr_obs::registry::{CounterId, GaugeId, HistogramId};
 use cvr_obs::{latency_bounds_ns, Registry, StageStats, TraceEvent, Tracer};
 use cvr_sim::system::{sanitize_rates, DELAY_CAP_SLOTS, PIPELINE_SLOTS};
 
-use crate::protocol::{ClientMessage, ServerMessage, PROTOCOL_VERSION};
+use crate::protocol::{ClientMessage, ServerMessage, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
 use crate::ticker::SlotTicker;
 use crate::transport::{SendStatus, ServerTransport};
 
@@ -91,6 +92,16 @@ pub struct ServeConfig {
     /// Worker threads for the per-user problem build (1 = inline, no
     /// spawning). Any thread count stages a bit-identical problem.
     pub build_threads: usize,
+    /// Enables shared-FoV multicast: co-located v3 users whose
+    /// undelivered tile state is byte-identical share one staged engine
+    /// row and receive one fanned-out `GroupAssign` frame. Off by
+    /// default; when off the session plans and transmits exactly the
+    /// unicast path. v2 clients are always served unicast either way.
+    pub multicast: bool,
+    /// Slots a multicast group key keeps its id after it was last seen
+    /// (FoV-jitter hysteresis; membership itself is re-derived every
+    /// slot).
+    pub mcast_hysteresis_slots: u64,
 }
 
 impl Default for ServeConfig {
@@ -107,6 +118,8 @@ impl Default for ServeConfig {
             outbound_queue_frames: 64,
             max_users: 16,
             build_threads: 1,
+            multicast: false,
+            mcast_hysteresis_slots: 8,
         }
     }
 }
@@ -136,6 +149,7 @@ struct SessionObs {
     g_clients: GaugeId,
     g_queue_depth: GaugeId,
     g_slot: GaugeId,
+    g_mcast_groups: GaugeId,
 }
 
 impl SessionObs {
@@ -192,6 +206,11 @@ impl SessionObs {
             "Deepest outbound queue observed on any connection",
         );
         let g_slot = r.gauge("cvr_session_slot", "", "Current slot index");
+        let g_mcast_groups = r.gauge(
+            "cvr_mcast_groups",
+            "",
+            "Multicast groups (two or more members) formed in the last planned slot",
+        );
         SessionObs {
             registry: r,
             tracer: Tracer::disabled(),
@@ -213,6 +232,7 @@ impl SessionObs {
             g_clients,
             g_queue_depth,
             g_slot,
+            g_mcast_groups,
         }
     }
 
@@ -247,8 +267,9 @@ struct UserState {
     delta: DeltaEstimator,
     bandwidth: EmaEstimator,
     ledger: DeliveryLedger,
-    /// Visible-tile request cache keyed on (cell, orientation bucket).
-    fov_cache: FovRequestCache,
+    /// Protocol version this user's Hello negotiated. v2 users are
+    /// served unicast `Assignment`s even in a multicast session.
+    version: u16,
     /// Per-level undelivered-rate sums over the current FoV target, kept
     /// in lockstep with `ledger` through the paired ACK/Release calls.
     undelivered: UndeliveredSums,
@@ -290,6 +311,7 @@ impl UserState {
         config: &ServeConfig,
         library: &ContentLibrary,
         seed: u64,
+        version: u16,
     ) -> Self {
         UserState {
             user_id,
@@ -298,7 +320,7 @@ impl UserState {
             delta: DeltaEstimator::ewma(1.0, 0.02),
             bandwidth: EmaEstimator::new(config.ema_weight),
             ledger: DeliveryLedger::new(),
-            fov_cache: FovRequestCache::new(*library.fov()),
+            version,
             undelivered: UndeliveredSums::new(library.quality_set().len()),
             qoe: UserQoeAccumulator::new(config.params),
             last_pose: Pose::default(),
@@ -420,6 +442,14 @@ pub struct Session {
     tick_clock: StageClock,
     /// Session-wide cache of materialised per-cell rate rows.
     plane: RatePlane,
+    /// Session-wide FoV request cache: one materialised tile set per
+    /// (cell, orientation bucket), shared by every user — the per-user
+    /// caches this replaces each held a copy of the same row.
+    shared_fov: SharedFovCache,
+    /// Multicast group discovery (used only when `config.multicast`).
+    groups: GroupTracker,
+    /// Multicast groups (≥2 members) formed in the last planned slot.
+    mcast_groups_last: usize,
     // Reused per-slot scratch, engine-index order. The `plan_*` tables
     // are flat copies of per-user build inputs: `UserState` owns a
     // non-`Sync` transport, so the parallel fill reads these instead.
@@ -430,7 +460,20 @@ pub struct Session {
     plan_tracker: Vec<VarianceTracker>,
     /// Per-user undelivered-rate sums, `levels` entries per user.
     plan_sums: Vec<f64>,
+    /// Per-user multicast group key (`None` = not groupable this slot:
+    /// v2 client, degraded, unbucketable pose, or multicast off).
+    plan_keys: Vec<Option<GroupKey>>,
+    /// Per-user unicast rate/value rows staged by the parallel build when
+    /// multicast is on (the engine then receives one row per *group*).
+    mc_rates: Vec<f64>,
+    mc_values: Vec<f64>,
+    /// Engine-row → member plan indices, caps, and group ids for the
+    /// multicast transmit fan-out.
+    staged_members: Vec<Vec<usize>>,
+    staged_caps: Vec<Vec<usize>>,
+    staged_gid: Vec<u64>,
     manifest: Vec<VideoId>,
+    payload: Vec<u8>,
 }
 
 impl Session {
@@ -438,6 +481,8 @@ impl Session {
     pub fn new(config: ServeConfig) -> Self {
         let library = ContentLibrary::paper_default();
         let plane = RatePlane::new(library.sizing().clone(), DEFAULT_PLANE_CELLS);
+        let shared_fov = SharedFovCache::new(*library.fov());
+        let groups = GroupTracker::new(config.mcast_hysteresis_slots);
         Session {
             config,
             library,
@@ -453,13 +498,23 @@ impl Session {
             transmit_clock: StageClock::default(),
             tick_clock: StageClock::default(),
             plane,
+            shared_fov,
+            groups,
+            mcast_groups_last: 0,
             plan_ids: Vec::new(),
             plan_predicted: Vec::new(),
             plan_bn: Vec::new(),
             plan_delta: Vec::new(),
             plan_tracker: Vec::new(),
             plan_sums: Vec::new(),
+            plan_keys: Vec::new(),
+            mc_rates: Vec::new(),
+            mc_values: Vec::new(),
+            staged_members: Vec::new(),
+            staged_caps: Vec::new(),
+            staged_gid: Vec::new(),
             manifest: Vec::new(),
+            payload: Vec::new(),
         }
     }
 
@@ -509,6 +564,16 @@ impl Session {
         self.obs
             .registry
             .set_gauge(self.obs.g_slot, self.slot as i64);
+        self.obs
+            .registry
+            .set_gauge(self.obs.g_mcast_groups, self.mcast_groups_last as i64);
+    }
+
+    /// Multicast groups (two or more members) formed in the last planned
+    /// slot — the value behind the `cvr_mcast_groups` gauge. Always 0
+    /// when multicast is off.
+    pub fn multicast_groups(&self) -> usize {
+        self.mcast_groups_last
     }
 
     /// Refreshes the instantaneous gauges and renders the registry in the
@@ -666,8 +731,10 @@ impl Session {
             match transport.try_recv() {
                 None => true,
                 Some(Ok(ClientMessage::Hello { version, seed })) => {
-                    if version != PROTOCOL_VERSION || self.active_users() >= self.config.max_users {
-                        if version != PROTOCOL_VERSION {
+                    let speaks_supported =
+                        (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version);
+                    if !speaks_supported || self.active_users() >= self.config.max_users {
+                        if !speaks_supported {
                             self.counters.protocol_errors += 1;
                             self.obs.registry.inc(self.obs.c_proto, 1);
                             self.obs.tracer.record(TraceEvent::ProtocolError {
@@ -682,7 +749,7 @@ impl Session {
                     // swapping in a placeholder that is dropped with the
                     // retain.
                     let taken = std::mem::replace(transport, closed_placeholder());
-                    self.join(taken, seed);
+                    self.join(taken, seed, version);
                     false
                 }
                 Some(_) => {
@@ -703,7 +770,7 @@ impl Session {
         self.pending = pending;
     }
 
-    fn join(&mut self, mut transport: Box<dyn ServerTransport>, seed: u64) {
+    fn join(&mut self, mut transport: Box<dyn ServerTransport>, seed: u64, version: u16) {
         let slot = match self.users.iter().position(|u| u.is_none()) {
             Some(free) => free,
             None => {
@@ -713,8 +780,10 @@ impl Session {
         };
         let user_id = self.next_user_id;
         self.next_user_id += 1;
+        // Echo the client's (supported) version so a v2 client sees a v2
+        // handshake and never receives v3-only frames.
         transport.send(&ServerMessage::Welcome {
-            version: PROTOCOL_VERSION,
+            version,
             user_id,
             slot_us: self
                 .config
@@ -729,6 +798,7 @@ impl Session {
             &self.config,
             &self.library,
             seed,
+            version,
         ));
         self.counters.joins += 1;
         self.obs.registry.inc(self.obs.c_joins, 1);
@@ -864,6 +934,7 @@ impl Session {
         self.plan_delta.clear();
         self.plan_tracker.clear();
         self.plan_sums.clear();
+        self.plan_keys.clear();
 
         let dt = self.config.slot_duration.as_secs_f64();
         let levels = self.library.quality_set().len();
@@ -883,7 +954,8 @@ impl Session {
                 .predict_fractional(horizon)
                 .unwrap_or(user.last_pose);
             let cell = self.library.grid().cell_of(&predicted.position);
-            let tiles = user.fov_cache.tiles_for(&predicted);
+            let orientation = self.shared_fov.key_for(&predicted);
+            let tiles = self.shared_fov.tiles_for(&predicted);
             if !user.undelivered.targets(cell, tiles) {
                 user.undelivered
                     .retarget(cell, tiles, self.plane.rows(cell), &user.ledger);
@@ -916,6 +988,29 @@ impl Session {
                     });
                 }
             }
+            // Multicast group eligibility: a v3, non-degraded user whose
+            // pose falls in an orientation bucket. The key fingerprints
+            // the undelivered level-prefix state, so equal keys guarantee
+            // byte-identical manifests and rate rows.
+            let key = if self.config.multicast
+                && user.version >= PROTOCOL_VERSION
+                && !user.degraded
+                && !user.bw_degraded
+            {
+                orientation.map(|orientation| GroupKey {
+                    cell,
+                    orientation,
+                    content: content_fingerprint(
+                        cell,
+                        tiles,
+                        user.undelivered.sums(),
+                        &user.ledger,
+                    ),
+                })
+            } else {
+                None
+            };
+            self.plan_keys.push(key);
             self.plan_ids.push(id);
             self.plan_predicted.push(predicted);
             self.plan_bn.push(bn);
@@ -924,10 +1019,22 @@ impl Session {
             self.plan_sums.extend_from_slice(user.undelivered.sums());
         }
 
+        let n = self.plan_ids.len();
         self.engine.begin_slot(self.config.server_total_mbps);
-        self.engine.add_users(levels, &self.plan_bn);
         {
-            let (rates_table, values_table) = self.engine.staged_tables_mut();
+            // Multicast stages one engine row per *group*, so the
+            // per-user rows are built into session scratch first; the
+            // unicast path keeps writing straight into the engine.
+            let (rates_table, values_table): (&mut [f64], &mut [f64]) = if self.config.multicast {
+                self.mc_rates.clear();
+                self.mc_rates.resize(n * levels, 0.0);
+                self.mc_values.clear();
+                self.mc_values.resize(n * levels, 0.0);
+                (&mut self.mc_rates, &mut self.mc_values)
+            } else {
+                self.engine.add_users(levels, &self.plan_bn);
+                self.engine.staged_tables_mut()
+            };
             let params = self.config.params;
             let plan_bn = &self.plan_bn;
             let plan_delta = &self.plan_delta;
@@ -956,6 +1063,9 @@ impl Session {
                 },
             );
         }
+        if self.config.multicast {
+            self.stage_groups(levels);
+        }
         let build_ns = build_start.elapsed().as_nanos() as u64;
         self.engine.timers_mut().build.record_ns(build_ns);
         self.obs
@@ -974,9 +1084,142 @@ impl Session {
         }
     }
 
+    /// Multicast staging: discovers this slot's shared-FoV groups and
+    /// stages one engine row per group, walking users in plan order and
+    /// staging each whole group at its first member's position — so a
+    /// slot where every group is a singleton stages exactly the unicast
+    /// problem, row for row.
+    fn stage_groups(&mut self, levels: usize) {
+        let n = self.plan_ids.len();
+        self.staged_members.clear();
+        self.staged_caps.clear();
+        self.staged_gid.clear();
+        self.groups.begin_slot(self.slot);
+        for i in 0..n {
+            if let Some(key) = self.plan_keys[i] {
+                self.groups.observe(i, key);
+            }
+        }
+        self.groups.finish_slot();
+        self.mcast_groups_last = self.groups.multicast_groups();
+
+        // Plan index → group index, populated for first members only.
+        let mut first_of = vec![usize::MAX; n];
+        for (g, group) in self.groups.groups().iter().enumerate() {
+            first_of[group.members[0]] = g;
+        }
+        for (i, &first_group) in first_of.iter().enumerate() {
+            let (members, gid) = if self.plan_keys[i].is_some() {
+                let g = first_group;
+                if g == usize::MAX {
+                    // Staged already, with its group at the first member.
+                    continue;
+                }
+                let group = &self.groups.groups()[g];
+                (group.members.clone(), group.id)
+            } else {
+                (vec![i], u64::MAX)
+            };
+            let member_rows: Vec<GroupMember<'_>> = members
+                .iter()
+                .map(|&m| GroupMember {
+                    values: &self.mc_values[m * levels..(m + 1) * levels],
+                    link_budget: self.plan_bn[m],
+                })
+                .collect();
+            let first = members[0];
+            let shared = &self.mc_rates[first * levels..(first + 1) * levels];
+            let mut caps = Vec::new();
+            stage_group(&mut self.engine, shared, &member_rows, &mut caps);
+            self.staged_members.push(members);
+            self.staged_caps.push(caps);
+            self.staged_gid.push(gid);
+        }
+    }
+
+    /// Shared post-send bookkeeping for one user: queue-depth tracking,
+    /// drop accounting, and the backpressure degrade/recover transitions.
+    /// Returns `false` when the transport reported the peer closed.
+    fn account_send(
+        user: &mut UserState,
+        counters: &mut ServerCounters,
+        obs: &mut SessionObs,
+        status: SendStatus,
+    ) -> bool {
+        let depth = user.transport.queue_depth();
+        counters.max_outbound_queue_depth = counters.max_outbound_queue_depth.max(depth);
+        match status {
+            SendStatus::Sent => {
+                // Recover once the queue has drained well below capacity
+                // and the writer is moving again.
+                if user.degraded
+                    && !user.transport.is_stalled()
+                    && depth <= user.transport.queue_capacity() / 2
+                {
+                    user.degraded = false;
+                    obs.tracer.record(TraceEvent::Degrade {
+                        user_id: user.user_id as u64,
+                        degraded: false,
+                    });
+                }
+            }
+            SendStatus::DroppedOldest(n) => {
+                counters.frames_dropped += n as u64;
+                obs.registry.inc(obs.c_dropped, n as u64);
+                obs.tracer.record(TraceEvent::QueueDrop {
+                    user_id: user.user_id as u64,
+                    dropped: n as u64,
+                });
+                if !user.degraded {
+                    user.degraded = true;
+                    user.degrade_transitions += 1;
+                    counters.degraded_transitions += 1;
+                    obs.registry.inc(obs.c_degraded, 1);
+                    obs.tracer.record(TraceEvent::Degrade {
+                        user_id: user.user_id as u64,
+                        degraded: true,
+                    });
+                }
+            }
+            SendStatus::Closed => return false,
+        }
+        if user.transport.is_stalled() && !user.degraded {
+            user.degraded = true;
+            user.degrade_transitions += 1;
+            counters.degraded_transitions += 1;
+            obs.registry.inc(obs.c_degraded, 1);
+            obs.tracer.record(TraceEvent::Degrade {
+                user_id: user.user_id as u64,
+                degraded: true,
+            });
+        }
+        true
+    }
+
+    /// Queues the prediction record that will be scored when the client's
+    /// matching pose arrives, and advances the staleness clock.
+    fn record_prediction(user: &mut UserState, predicted: Pose, quality: QualityLevel) {
+        if user.has_pose {
+            user.predictions.push_back(PredictionRecord {
+                target_seq: user.last_pose_seq + (user.staleness_slots + PIPELINE_SLOTS) as u64,
+                predicted,
+                quality,
+                delay_slots: ((user.staleness_slots + PIPELINE_SLOTS) as f64).min(DELAY_CAP_SLOTS),
+            });
+            if user.predictions.len() > MAX_PENDING_PREDICTIONS {
+                user.predictions.pop_front();
+            }
+        }
+        user.staleness_slots += 1;
+    }
+
     /// Sends each planned user its assignment and manifest, applying the
     /// slow-client policy.
     fn transmit(&mut self) {
+        if self.config.multicast {
+            self.transmit_multicast();
+            return;
+        }
         for i in 0..self.plan_ids.len() {
             let id = self.plan_ids[i];
             let Some(user) = &mut self.users[id] else {
@@ -1008,68 +1251,101 @@ impl Session {
                 manifest: self.manifest.clone(),
             });
 
-            let depth = user.transport.queue_depth();
-            self.counters.max_outbound_queue_depth =
-                self.counters.max_outbound_queue_depth.max(depth);
-            match status {
-                SendStatus::Sent => {
-                    // Recover once the queue has drained well below
-                    // capacity and the writer is moving again.
-                    if user.degraded
-                        && !user.transport.is_stalled()
-                        && depth <= user.transport.queue_capacity() / 2
-                    {
-                        user.degraded = false;
-                        self.obs.tracer.record(TraceEvent::Degrade {
-                            user_id: user.user_id as u64,
-                            degraded: false,
-                        });
-                    }
-                }
-                SendStatus::DroppedOldest(n) => {
-                    self.counters.frames_dropped += n as u64;
-                    self.obs.registry.inc(self.obs.c_dropped, n as u64);
-                    self.obs.tracer.record(TraceEvent::QueueDrop {
-                        user_id: user.user_id as u64,
-                        dropped: n as u64,
-                    });
-                    if !user.degraded {
-                        user.degraded = true;
-                        user.degrade_transitions += 1;
-                        self.counters.degraded_transitions += 1;
-                        self.obs.registry.inc(self.obs.c_degraded, 1);
-                        self.obs.tracer.record(TraceEvent::Degrade {
-                            user_id: user.user_id as u64,
-                            degraded: true,
-                        });
-                    }
-                }
-                SendStatus::Closed => continue,
+            if !Self::account_send(user, &mut self.counters, &mut self.obs, status) {
+                continue;
             }
-            if user.transport.is_stalled() && !user.degraded {
-                user.degraded = true;
-                user.degrade_transitions += 1;
-                self.counters.degraded_transitions += 1;
-                self.obs.registry.inc(self.obs.c_degraded, 1);
-                self.obs.tracer.record(TraceEvent::Degrade {
-                    user_id: user.user_id as u64,
-                    degraded: true,
-                });
-            }
+            Self::record_prediction(user, self.plan_predicted[i], quality);
+        }
+    }
 
-            if user.has_pose {
-                user.predictions.push_back(PredictionRecord {
-                    target_seq: user.last_pose_seq + (user.staleness_slots + PIPELINE_SLOTS) as u64,
-                    predicted: self.plan_predicted[i],
-                    quality,
-                    delay_slots: ((user.staleness_slots + PIPELINE_SLOTS) as f64)
-                        .min(DELAY_CAP_SLOTS),
+    /// Multicast transmit: a singleton engine row (including every v2 or
+    /// degraded user) gets the plain per-user `Assignment`; a row with
+    /// two or more members encodes one `GroupAssign` per distinct
+    /// delivered quality and fans the identical bytes out to every member
+    /// at that quality via [`ServerTransport::send_payload`].
+    fn transmit_multicast(&mut self) {
+        for r in 0..self.staged_members.len() {
+            let assigned = self.engine.assignment()[r];
+            if self.staged_members[r].len() == 1 {
+                let i = self.staged_members[r][0];
+                let id = self.plan_ids[i];
+                let Some(user) = &mut self.users[id] else {
+                    continue;
+                };
+                let quality = if user.degraded || user.bw_degraded {
+                    QualityLevel::MIN
+                } else {
+                    assigned
+                };
+                let rate = self.engine.rates(r)[quality.index()];
+                let cell = user.undelivered.cell().expect("targeted during plan");
+                self.manifest.clear();
+                self.manifest.extend(
+                    user.undelivered
+                        .tiles()
+                        .iter()
+                        .map(|&t| VideoId::new(cell, t, quality))
+                        .filter(|vid| !user.ledger.is_delivered(vid)),
+                );
+                let status = user.transport.send(&ServerMessage::Assignment {
+                    slot: self.slot,
+                    pose_seq: user.last_pose_seq,
+                    quality: quality.get(),
+                    rate_mbps: rate,
+                    manifest: self.manifest.clone(),
                 });
-                if user.predictions.len() > MAX_PENDING_PREDICTIONS {
-                    user.predictions.pop_front();
+                if !Self::account_send(user, &mut self.counters, &mut self.obs, status) {
+                    continue;
+                }
+                Self::record_prediction(user, self.plan_predicted[i], quality);
+            } else {
+                let gid = self.staged_gid[r];
+                // One encoded payload per distinct delivered quality this
+                // row; members sharing a quality receive the same bytes.
+                let mut encoded: Vec<(usize, Vec<u8>)> = Vec::new();
+                for k in 0..self.staged_members[r].len() {
+                    let i = self.staged_members[r][k];
+                    let cap = self.staged_caps[r][k];
+                    let id = self.plan_ids[i];
+                    let Some(user) = &mut self.users[id] else {
+                        continue;
+                    };
+                    let q_idx = assigned.index().min(cap);
+                    let quality = QualityLevel::new((q_idx + 1) as u8);
+                    let at = match encoded.iter().position(|(q, _)| *q == q_idx) {
+                        Some(at) => at,
+                        None => {
+                            // Members share ledger state by group-key
+                            // construction, so any member's manifest is
+                            // the group's manifest at this quality.
+                            let cell = user.undelivered.cell().expect("targeted during plan");
+                            let manifest: Vec<VideoId> = user
+                                .undelivered
+                                .tiles()
+                                .iter()
+                                .map(|&t| VideoId::new(cell, t, quality))
+                                .filter(|vid| !user.ledger.is_delivered(vid))
+                                .collect();
+                            self.payload.clear();
+                            ServerMessage::GroupAssign {
+                                slot: self.slot,
+                                group_id: gid,
+                                quality: quality.get(),
+                                rate_mbps: self.engine.rates(r)[q_idx],
+                                manifest,
+                            }
+                            .encode(&mut self.payload);
+                            encoded.push((q_idx, self.payload.clone()));
+                            encoded.len() - 1
+                        }
+                    };
+                    let status = user.transport.send_payload(&encoded[at].1);
+                    if !Self::account_send(user, &mut self.counters, &mut self.obs, status) {
+                        continue;
+                    }
+                    Self::record_prediction(user, self.plan_predicted[i], quality);
                 }
             }
-            user.staleness_slots += 1;
         }
     }
 }
@@ -1083,6 +1359,9 @@ fn closed_placeholder() -> Box<dyn ServerTransport> {
             None
         }
         fn send(&mut self, _message: &ServerMessage) -> SendStatus {
+            SendStatus::Closed
+        }
+        fn send_payload(&mut self, _payload: &[u8]) -> SendStatus {
             SendStatus::Closed
         }
         fn queue_depth(&self) -> usize {

@@ -55,6 +55,12 @@ pub trait ServerTransport: Send {
     /// Queues a downstream message.
     fn send(&mut self, message: &ServerMessage) -> SendStatus;
 
+    /// Queues an already-encoded downstream payload. The multicast
+    /// fan-out path encodes a `GroupAssign` once and hands every group
+    /// member the same bytes — per-member re-encoding would defeat the
+    /// point of the shared frame.
+    fn send_payload(&mut self, payload: &[u8]) -> SendStatus;
+
     /// Frames currently waiting in the outbound queue.
     fn queue_depth(&self) -> usize;
 
@@ -224,6 +230,10 @@ impl ServerTransport for LoopbackServerEnd {
 
     fn send(&mut self, message: &ServerMessage) -> SendStatus {
         self.outbound.push(message.to_payload())
+    }
+
+    fn send_payload(&mut self, payload: &[u8]) -> SendStatus {
+        self.outbound.push(payload.to_vec())
     }
 
     fn queue_depth(&self) -> usize {
@@ -431,6 +441,10 @@ impl ServerTransport for TcpServerTransport {
 
     fn send(&mut self, message: &ServerMessage) -> SendStatus {
         self.peer.outbound.push(message.to_payload())
+    }
+
+    fn send_payload(&mut self, payload: &[u8]) -> SendStatus {
+        self.peer.outbound.push(payload.to_vec())
     }
 
     fn queue_depth(&self) -> usize {

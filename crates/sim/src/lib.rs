@@ -8,6 +8,8 @@
 //!   packet loss, tile caching/ACKs, router interference), behind Figs. 7
 //!   and 8;
 //! * [`experiment`] — multi-run harnesses with thread-parallel execution;
+//! * [`mcast`] — the co-located classroom study behind `mcast_bench`
+//!   (unicast vs grouped multicast staging at a fixed server budget);
 //! * [`parallel`] — the sharded parallel runner (deterministic per-run
 //!   seeding, lock-free per-worker accumulation, in-order merge);
 //! * [`allocators`] — the algorithm registry shared by all experiments;
@@ -32,6 +34,7 @@
 pub mod allocators;
 pub mod event;
 pub mod experiment;
+pub mod mcast;
 pub mod metrics;
 pub mod parallel;
 pub mod system;
@@ -44,6 +47,7 @@ pub use experiment::{
     trace_experiment, trace_experiment_threaded, ScenarioMatrixResult, ScenarioRow, SystemAverages,
     SystemExperimentResult, TraceExperimentResult,
 };
+pub use mcast::{McastConfig, McastRunResult};
 pub use metrics::{
     EmpiricalDistribution, MetricDistributions, SlotTimingReport, SortedDistribution, StageStats,
 };
