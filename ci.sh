@@ -98,6 +98,8 @@ SERVE_PID=""
 echo "serve smoke: server and all 8 clients exited cleanly"
 
 step "Bench gate"
+# build_bench also runs the staging tier (old strided walk vs fused
+# level-major kernel); bench_check gates both its artifacts.
 cargo run -p cvr-bench --release --bin slot_engine -- --quick
 cargo run -p cvr-bench --release --bin scale -- --quick
 cargo run -p cvr-bench --release --bin serve_bench -- --quick

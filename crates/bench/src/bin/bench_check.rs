@@ -21,7 +21,11 @@
 //! * `BENCH_build.json` — the cached build-stage data plane must keep a
 //!   ≥ 2× build speedup over the per-slot rederiving path on every
 //!   setup, with solver assignments identical to the reference build at
-//!   every benchmarked thread count.
+//!   every benchmarked thread count. Its **staging** tier must keep a
+//!   ≥ 1.3× speedup of the fused level-major staging kernel over the
+//!   old tile-major strided walk + hand-rolled fill, with per-slot
+//!   assignment fingerprints identical at every benchmarked thread
+//!   count.
 //! * `BENCH_obs.json` — metrics + sampled tracing must cost ≤ 2 % of the
 //!   uninstrumented slot loop on every setup, and never change the
 //!   solver's output.
@@ -42,6 +46,7 @@ use cvr_bench::json::Json;
 
 const MIN_ENGINE_SPEEDUP: f64 = 1.5;
 const MIN_BUILD_SPEEDUP: f64 = 2.0;
+const MIN_STAGING_SPEEDUP: f64 = 1.3;
 const MIN_PARALLEL_SPEEDUP: f64 = 1.5;
 const MIN_PARALLEL_EFFICIENCY: f64 = 0.6;
 const MIN_SERVE_CLIENTS: usize = 8;
@@ -71,7 +76,7 @@ struct GateSpec {
 
 /// The declarative gate table `main` walks. New benches join the gate
 /// by adding one row here.
-const GATES: [GateSpec; 7] = [
+const GATES: [GateSpec; 8] = [
     GateSpec {
         name: "slot_engine",
         file: "BENCH_slot_engine.json",
@@ -91,6 +96,11 @@ const GATES: [GateSpec; 7] = [
         name: "build",
         file: "BENCH_build.json",
         check: check_build,
+    },
+    GateSpec {
+        name: "staging",
+        file: "BENCH_build.json",
+        check: check_staging,
     },
     GateSpec {
         name: "obs",
@@ -379,6 +389,50 @@ fn check_build(gate: &mut Gate, doc: &Json) {
                     .and_then(Json::as_bool)
                     .unwrap_or(false),
                 format!("build {name} @ {n} threads: assignments identical"),
+            );
+        }
+    }
+}
+
+fn check_staging(gate: &mut Gate, doc: &Json) {
+    let setups = doc
+        .get("setups")
+        .and_then(Json::as_array)
+        .expect("build JSON has a `setups` array");
+    gate.check(
+        !setups.is_empty(),
+        "staging: at least one setup".to_string(),
+    );
+    for entry in setups {
+        let name = entry.get("name").and_then(Json::as_str).unwrap_or("?");
+        let Some(staging) = entry.get("staging") else {
+            gate.check(false, format!("staging {name}: staging tier present"));
+            continue;
+        };
+        let speedup = staging
+            .get("staging_speedup")
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN);
+        gate.check(
+            speedup >= MIN_STAGING_SPEEDUP,
+            format!("staging {name}: fused-kernel speedup {speedup:.2}x >= {MIN_STAGING_SPEEDUP}x"),
+        );
+        let threads = staging
+            .get("threads")
+            .and_then(Json::as_array)
+            .expect("staging tier has a `threads` array");
+        gate.check(
+            !threads.is_empty(),
+            format!("staging {name}: at least one thread point"),
+        );
+        for point in threads {
+            let n = point.get("threads").and_then(Json::as_f64).unwrap_or(0.0) as usize;
+            gate.check(
+                point
+                    .get("identical")
+                    .and_then(Json::as_bool)
+                    .unwrap_or(false),
+                format!("staging {name} @ {n} threads: assignment fingerprints identical"),
             );
         }
     }

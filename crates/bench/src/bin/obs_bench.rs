@@ -29,14 +29,12 @@ use cvr_bench::{f3, print_header, print_row, FigureArgs};
 use cvr_content::library::{ContentLibrary, ContentRequest};
 use cvr_core::engine::SlotEngine;
 use cvr_core::quality::QualityLevel;
+use cvr_core::stage::CONTROL_OVERHEAD_MBPS;
 use cvr_motion::synthetic::{MotionConfig, MotionGenerator};
 use cvr_obs::trace::EventKind;
 use cvr_obs::{latency_bounds_ns, Registry, TraceEvent, Tracer};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-
-/// Control/pose-stream overhead constant mirrored from the system loop.
-const CONTROL_OVERHEAD_MBPS: f64 = 0.2;
 
 /// Measured repetitions per setup; each batch keeps its per-mode minimum.
 const REPS: usize = 9;

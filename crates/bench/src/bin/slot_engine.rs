@@ -23,15 +23,13 @@ use cvr_core::alloc::GreedyOutcome;
 use cvr_core::engine::SlotEngine;
 use cvr_core::objective::{SlotProblem, UserSlot};
 use cvr_core::quality::QualityLevel;
+use cvr_core::stage::CONTROL_OVERHEAD_MBPS;
 use cvr_motion::synthetic::{MotionConfig, MotionGenerator};
 use cvr_sim::allocators::AllocatorKind;
 use cvr_sim::metrics::{SlotTimingReport, StageStats};
 use cvr_sim::system::{self, ObjectiveMode, SystemConfig};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-
-/// Control/pose-stream overhead constant mirrored from the system loop.
-const CONTROL_OVERHEAD_MBPS: f64 = 0.2;
 
 /// Pre-generated inputs for every benchmarked slot: content requests from
 /// real synthetic motion plus random objective values and link budgets, so

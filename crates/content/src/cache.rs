@@ -308,15 +308,18 @@ impl DeliveryLedger {
 /// Bit-identity: a level's sum is always recomputed from scratch in tile
 /// order (O(tiles) = O(4) per event, no hash probes), reproducing the
 /// exact `((0 + r₀) + r₁) + …` addition sequence of the brute-force build
-/// loop — incremental `+=`/`-=` would accumulate different rounding.
+/// loop — incremental `+=`/`-=` would accumulate different rounding. The
+/// internal tables are **level-major** (`l * tiles.len() + t`), matching
+/// [`crate::plane::RatePlane`], so each recompute folds one contiguous
+/// run of the rate table instead of striding by `levels`.
 #[derive(Debug, Clone)]
 pub struct UndeliveredSums {
     levels: usize,
     cell: Option<CellId>,
     tiles: Vec<TileId>,
-    /// Rate rows of the target tiles, tile-major: `tiles.len() × levels`.
+    /// Rate rows of the target tiles, level-major: `levels × tiles.len()`.
     rows: Vec<f64>,
-    /// Delivered mask, tile-major: `tiles.len() × levels`.
+    /// Delivered mask, level-major: `levels × tiles.len()`.
     delivered: Vec<bool>,
     /// Per-level undelivered-rate sums (length `levels`).
     sums: Vec<f64>,
@@ -357,14 +360,16 @@ impl UndeliveredSums {
     }
 
     /// Retargets the accumulator at a new `(cell, tiles)` request, reading
-    /// rate rows from `cell_rows` (the cell's full `TileId::COUNT × levels`
-    /// tile-major table, e.g. [`crate::plane::RatePlane::rows`]) and the
-    /// delivered mask from `ledger`. Rebuilds masks and sums from scratch —
-    /// called only on cell/tile-set changes, not per slot.
+    /// rate rows from `cell_rows` (the cell's full `levels × TileId::COUNT`
+    /// **level-major** table, e.g. [`crate::plane::RatePlane::rows`]) and
+    /// the delivered mask from `ledger`. Rebuilds masks and sums from
+    /// scratch — called only on cell/tile-set changes, not per slot. Both
+    /// the source table and the internal copy are level-major, so the copy
+    /// gathers one contiguous level run at a time.
     ///
     /// # Panics
     ///
-    /// Panics if `cell_rows` is not exactly `TileId::COUNT × levels` long.
+    /// Panics if `cell_rows` is not exactly `levels × TileId::COUNT` long.
     pub fn retarget(
         &mut self,
         cell: CellId,
@@ -377,17 +382,17 @@ impl UndeliveredSums {
             usize::from(TileId::COUNT) * self.levels,
             "cell_rows must cover every tile at every level"
         );
+        let count = usize::from(TileId::COUNT);
         self.cell = Some(cell);
         self.tiles.clear();
         self.tiles.extend_from_slice(tiles);
         self.rows.clear();
         self.delivered.clear();
-        for &tile in tiles {
-            let start = usize::from(tile.get()) * self.levels;
-            self.rows
-                .extend_from_slice(&cell_rows[start..start + self.levels]);
-            for l in 0..self.levels {
-                let q = QualityLevel::new((l + 1) as u8);
+        for l in 0..self.levels {
+            let level_run = &cell_rows[l * count..(l + 1) * count];
+            let q = QualityLevel::new((l + 1) as u8);
+            for &tile in tiles {
+                self.rows.push(level_run[usize::from(tile.get())]);
                 self.delivered
                     .push(ledger.is_delivered(&VideoId::new(cell, tile, q)));
             }
@@ -449,7 +454,7 @@ impl UndeliveredSums {
             let mut brute = 0.0f64;
             for (t, &tile) in self.tiles.iter().enumerate() {
                 if !ledger.is_delivered(&VideoId::new(cell, tile, q)) {
-                    brute += self.rows[t * self.levels + l];
+                    brute += self.rows[l * self.tiles.len() + t];
                 }
             }
             assert!(
@@ -473,7 +478,7 @@ impl UndeliveredSums {
         if l >= self.levels {
             return;
         }
-        let slot = &mut self.delivered[t * self.levels + l];
+        let slot = &mut self.delivered[l * self.tiles.len() + t];
         if *slot == delivered {
             return;
         }
@@ -483,11 +488,16 @@ impl UndeliveredSums {
 
     /// Recomputes one level's sum from scratch in tile order — the same
     /// fold the brute-force build performs, so the result is bit-identical.
+    /// With the level-major layout the fold walks one contiguous run of
+    /// the rate table and mask (no `levels`-sized stride).
     fn recompute_level(&mut self, l: usize) {
+        let n = self.tiles.len();
+        let rates = &self.rows[l * n..(l + 1) * n];
+        let mask = &self.delivered[l * n..(l + 1) * n];
         let mut sum = 0.0f64;
-        for t in 0..self.tiles.len() {
-            if !self.delivered[t * self.levels + l] {
-                sum += self.rows[t * self.levels + l];
+        for (rate, &done) in rates.iter().zip(mask) {
+            if !done {
+                sum += *rate;
             }
         }
         self.sums[l] = sum;
@@ -651,13 +661,19 @@ mod tests {
         assert!(!ledger.is_delivered(&id(0, 0, 1)));
     }
 
+    /// Builds the cell's level-major `levels × TileId::COUNT` table the
+    /// way `RatePlane` materialises it (transposed `tile_rate_row` rows).
     fn paper_rows(cell: CellId) -> (crate::sizing::TileSizeModel, Vec<f64>) {
         let sizing = crate::sizing::TileSizeModel::paper_default();
         let levels = sizing.levels();
-        let mut rows = vec![0.0f64; usize::from(TileId::COUNT) * levels];
+        let count = usize::from(TileId::COUNT);
+        let mut rows = vec![0.0f64; count * levels];
+        let mut tile_row = vec![0.0f64; levels];
         for tile in TileId::all() {
-            let start = usize::from(tile.get()) * levels;
-            sizing.tile_rate_row(cell, tile, &mut rows[start..start + levels]);
+            sizing.tile_rate_row(cell, tile, &mut tile_row);
+            for (l, &rate) in tile_row.iter().enumerate() {
+                rows[l * count + usize::from(tile.get())] = rate;
+            }
         }
         (sizing, rows)
     }

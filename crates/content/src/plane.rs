@@ -5,12 +5,16 @@
 //! FoV tile sets are piecewise-constant in the pose, so the hot path can
 //! materialise both once and reuse them:
 //!
-//! * [`RatePlane`] — per-cell rate rows. The first touch of a cell runs
-//!   [`TileSizeModel::tile_rate_row`] for all four tiles (one complexity
-//!   hash per `(cell, tile)` *ever* while the cell stays resident) behind
-//!   a small LRU of recently-visited cells. Rows are bit-identical to
-//!   fresh `tile_rate_row` calls, so builds reading the plane stay
-//!   bit-identical to builds hashing per slot.
+//! * [`RatePlane`] — per-cell rate rows, stored **level-major** (entry
+//!   `l * TileId::COUNT + t`) so the per-level folds the staging kernels
+//!   run every slot read contiguous memory. The first touch of a cell
+//!   runs [`TileSizeModel::tile_rate_row`] for all four tiles (one
+//!   complexity hash per `(cell, tile)` *ever* while the cell stays
+//!   resident) through a transposing writer, behind a small LRU of
+//!   recently-visited cells whose evicted boxes are recycled through a
+//!   freelist. Every entry is bit-identical to the fresh `tile_rate_row`
+//!   value, so builds reading the plane stay bit-identical to builds
+//!   hashing per slot.
 //! * [`FovRequestCache`] — reuses the previous slot's visible-tile set
 //!   while the predicted pose stays inside the same quantised-orientation
 //!   bucket, invalidating on bucket crossings. Tile membership is
@@ -35,8 +39,11 @@ use crate::tile::{tiles_for_pose_into, TileId};
 /// classroom at the paper's 5 cm grid, ~50 KiB of rows.
 pub const DEFAULT_PLANE_CELLS: usize = 512;
 
-/// Materialised rate rows of one resident cell: `TileId::COUNT × levels`
-/// entries, tile-major, each row written by one `tile_rate_row` call.
+/// Materialised rate rows of one resident cell: `levels × TileId::COUNT`
+/// entries, **level-major** — entry `l * TileId::COUNT + t` is tile `t`'s
+/// rate at level `l + 1`. Each level's four tile rates are contiguous, so
+/// the per-level undelivered-sum folds the staging kernels run every slot
+/// read sequential memory instead of striding by `levels`.
 #[derive(Debug, Clone)]
 struct PlaneCell {
     rows: Box<[f64]>,
@@ -45,11 +52,12 @@ struct PlaneCell {
 
 /// An LRU-bounded cache of per-cell rate rows.
 ///
-/// `rows(cell)` returns the full `TileId::COUNT × levels` table for a
-/// cell, materialising it on first touch. Once `capacity` cells are
-/// resident a miss evicts the least-recently-touched *half* in one batch,
-/// so eviction costs are amortised over many misses instead of a full
-/// scan per miss.
+/// `rows(cell)` returns the full level-major `levels × TileId::COUNT`
+/// table for a cell, materialising it on first touch. Once `capacity`
+/// cells are resident a miss evicts the least-recently-touched *half* in
+/// one batch, so eviction costs are amortised over many misses instead of
+/// a full scan per miss; evicted row boxes are recycled through a small
+/// freelist so steady-state cell churn is allocation-free.
 #[derive(Debug, Clone)]
 pub struct RatePlane {
     sizing: TileSizeModel,
@@ -57,8 +65,15 @@ pub struct RatePlane {
     capacity: usize,
     clock: u64,
     cells: HashMap<CellId, PlaneCell>,
+    /// Evicted row boxes awaiting reuse (bounded by `capacity`).
+    free: Vec<Box<[f64]>>,
+    /// Tile-major scratch row the transposing writer fills per tile.
+    scratch: Vec<f64>,
+    /// Gather buffer backing [`RatePlane::row`].
+    gather: Vec<f64>,
     hits: u64,
     misses: u64,
+    recycled: u64,
 }
 
 impl RatePlane {
@@ -76,8 +91,12 @@ impl RatePlane {
             capacity,
             clock: 0,
             cells: HashMap::new(),
+            free: Vec::new(),
+            scratch: vec![0.0; levels],
+            gather: Vec::with_capacity(levels),
             hits: 0,
             misses: 0,
+            recycled: 0,
         }
     }
 
@@ -102,9 +121,18 @@ impl RatePlane {
         (self.hits, self.misses)
     }
 
-    /// The rate rows of `cell`, tile-major: entry `t * levels + l` is the
-    /// rate of tile `t` at level `l + 1`, bit-identical to
-    /// [`TileSizeModel::tile_rate_row`] into an exactly-`levels` slice.
+    /// Number of misses served from a recycled (previously evicted) row
+    /// box instead of a fresh allocation.
+    pub fn recycled(&self) -> u64 {
+        self.recycled
+    }
+
+    /// The rate rows of `cell`, **level-major**: entry
+    /// `l * TileId::COUNT + t` is the rate of tile `t` at level `l + 1`,
+    /// bit-identical to the same entry of
+    /// [`TileSizeModel::tile_rate_row`]'s tile row. Each level's tile
+    /// rates are contiguous, which is what lets the per-level undelivered
+    /// folds downstream read sequential memory.
     pub fn rows(&mut self, cell: CellId) -> &[f64] {
         self.clock += 1;
         let clock = self.clock;
@@ -113,15 +141,27 @@ impl RatePlane {
             if self.cells.len() >= self.capacity {
                 self.evict_stale_half();
             }
-            let mut rows =
-                vec![0.0f64; usize::from(TileId::COUNT) * self.levels].into_boxed_slice();
+            let count = usize::from(TileId::COUNT);
+            let mut rows = match self.free.pop() {
+                Some(recycled) => {
+                    self.recycled += 1;
+                    recycled
+                }
+                None => vec![0.0f64; count * self.levels].into_boxed_slice(),
+            };
+            debug_assert_eq!(rows.len(), count * self.levels);
+            // Transposing writer: `tile_rate_row` keeps its engine-path
+            // contract (exactly `levels` entries per tile, written into a
+            // tile row), and the plane scatters each entry into its
+            // level-major slot. Values are untouched, so every entry is
+            // still bit-identical to a fresh `tile_rate_row` call.
             for tile in TileId::all() {
-                let start = usize::from(tile.get()) * self.levels;
-                let row = &mut rows[start..start + self.levels];
-                // The engine-path contract of `tile_rate_row`: exactly
-                // `levels` entries, no untouched tail.
-                debug_assert_eq!(row.len(), self.levels);
-                self.sizing.tile_rate_row(cell, tile, row);
+                let t = usize::from(tile.get());
+                debug_assert_eq!(self.scratch.len(), self.levels);
+                self.sizing.tile_rate_row(cell, tile, &mut self.scratch);
+                for (l, &rate) in self.scratch.iter().enumerate() {
+                    rows[l * count + t] = rate;
+                }
             }
             self.cells.insert(
                 cell,
@@ -138,21 +178,43 @@ impl RatePlane {
         &entry.rows
     }
 
-    /// The rate row of one tile of `cell` (length `levels`).
+    /// The rate row of one tile of `cell` (length `levels`), gathered
+    /// from the level-major table — bit-identical to
+    /// [`TileSizeModel::tile_rate_row`] into an exactly-`levels` slice.
     pub fn row(&mut self, cell: CellId, tile: TileId) -> &[f64] {
         let levels = self.levels;
-        let start = usize::from(tile.get()) * levels;
-        &self.rows(cell)[start..start + levels]
+        let count = usize::from(TileId::COUNT);
+        let t = usize::from(tile.get());
+        let mut gather = std::mem::take(&mut self.gather);
+        gather.clear();
+        let rows = self.rows(cell);
+        gather.extend((0..levels).map(|l| rows[l * count + t]));
+        self.gather = gather;
+        &self.gather
     }
 
     /// Evicts the least-recently-touched half of the resident cells (at
     /// least one cell). One `O(n log n)` pass buys room for `n / 2`
     /// further misses, so the amortised per-miss cost stays logarithmic.
+    /// Evicted row boxes land on the freelist for the next misses to
+    /// reuse, so churn past the first eviction never allocates.
     fn evict_stale_half(&mut self) {
         let mut touches: Vec<u64> = self.cells.values().map(|e| e.last_touch).collect();
         touches.sort_unstable();
         let cutoff = touches[(touches.len() - 1) / 2];
-        self.cells.retain(|_, e| e.last_touch > cutoff);
+        let stale: Vec<CellId> = self
+            .cells
+            .iter()
+            .filter(|(_, e)| e.last_touch <= cutoff)
+            .map(|(&c, _)| c)
+            .collect();
+        for cell in stale {
+            if let Some(evicted) = self.cells.remove(&cell) {
+                if self.free.len() < self.capacity {
+                    self.free.push(evicted.rows);
+                }
+            }
+        }
     }
 }
 
@@ -349,9 +411,12 @@ pub struct SharedFovCache {
     capacity: usize,
     clock: u64,
     buckets: HashMap<OrientationKey, SharedBucket>,
+    /// Evicted tile vectors awaiting reuse (bounded by `capacity`).
+    free: Vec<Vec<TileId>>,
     scratch: Vec<TileId>,
     hits: u64,
     misses: u64,
+    recycled: u64,
 }
 
 impl SharedFovCache {
@@ -374,9 +439,11 @@ impl SharedFovCache {
             capacity,
             clock: 0,
             buckets: HashMap::new(),
+            free: Vec::new(),
             scratch: Vec::with_capacity(usize::from(TileId::COUNT)),
             hits: 0,
             misses: 0,
+            recycled: 0,
         }
     }
 
@@ -388,6 +455,12 @@ impl SharedFovCache {
     /// `(hits, misses)` counters; a miss recomputes one tile set.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Number of bucket misses served from a recycled (previously
+    /// evicted) tile vector instead of a fresh allocation.
+    pub fn recycled(&self) -> u64 {
+        self.recycled
     }
 
     /// Number of resident orientation buckets.
@@ -418,7 +491,14 @@ impl SharedFovCache {
             if self.buckets.len() >= self.capacity {
                 self.evict_stale_half();
             }
-            let mut tiles = Vec::with_capacity(usize::from(TileId::COUNT));
+            let mut tiles = match self.free.pop() {
+                Some(mut recycled) => {
+                    self.recycled += 1;
+                    recycled.clear();
+                    recycled
+                }
+                None => Vec::with_capacity(usize::from(TileId::COUNT)),
+            };
             tiles_for_pose_into(&self.spec, pose, &mut tiles);
             self.buckets.insert(
                 key,
@@ -445,12 +525,26 @@ impl SharedFovCache {
     }
 
     /// Evicts the least-recently-touched half of the resident buckets (at
-    /// least one), amortising eviction like [`RatePlane`].
+    /// least one), amortising eviction like [`RatePlane`]. Evicted tile
+    /// vectors are recycled through the freelist so bucket churn past the
+    /// first eviction never allocates.
     fn evict_stale_half(&mut self) {
         let mut touches: Vec<u64> = self.buckets.values().map(|e| e.last_touch).collect();
         touches.sort_unstable();
         let cutoff = touches[(touches.len() - 1) / 2];
-        self.buckets.retain(|_, e| e.last_touch > cutoff);
+        let stale: Vec<OrientationKey> = self
+            .buckets
+            .iter()
+            .filter(|(_, e)| e.last_touch <= cutoff)
+            .map(|(&k, _)| k)
+            .collect();
+        for key in stale {
+            if let Some(evicted) = self.buckets.remove(&key) {
+                if self.free.len() < self.capacity {
+                    self.free.push(evicted.tiles);
+                }
+            }
+        }
     }
 }
 
@@ -487,6 +581,62 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn plane_rows_are_level_major() {
+        let sizing = TileSizeModel::paper_default();
+        let levels = sizing.levels();
+        let count = usize::from(TileId::COUNT);
+        let mut plane = RatePlane::new(sizing.clone(), 16);
+        let mut fresh = vec![0.0f64; levels];
+        let c = cell(3, -2);
+        let rows = plane.rows(c).to_vec();
+        assert_eq!(rows.len(), count * levels);
+        for tile in TileId::all() {
+            sizing.tile_rate_row(c, tile, &mut fresh);
+            for (l, &rate) in fresh.iter().enumerate() {
+                assert_eq!(
+                    rows[l * count + usize::from(tile.get())].to_bits(),
+                    rate.to_bits(),
+                    "level {l} {tile}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plane_churn_recycles_evicted_row_boxes() {
+        let mut plane = RatePlane::new(TileSizeModel::paper_default(), 4);
+        for x in 0..50 {
+            plane.rows(cell(x, 0));
+        }
+        let (_, misses) = plane.stats();
+        assert_eq!(misses, 50);
+        // Only the pre-eviction misses may allocate fresh boxes; once the
+        // first eviction wave has seeded the freelist, every further miss
+        // reuses an evicted box.
+        assert!(
+            plane.recycled() >= misses - 4,
+            "steady-state churn must reuse evicted boxes: {} of {misses}",
+            plane.recycled()
+        );
+    }
+
+    #[test]
+    fn shared_fov_cache_recycles_evicted_buckets() {
+        let spec = FovSpec::paper_default();
+        let mut shared = SharedFovCache::with_capacity(spec, 4);
+        let mut yaw = -170.0;
+        while yaw < 170.0 {
+            let p = pose(yaw, 3.0);
+            assert_eq!(shared.tiles_for(&p), tiles_for_pose(&spec, &p).as_slice());
+            yaw += 9.1;
+        }
+        assert!(
+            shared.recycled() > 0,
+            "bucket churn must reuse evicted tile vectors"
+        );
     }
 
     #[test]

@@ -239,6 +239,45 @@ proptest! {
         }
     }
 
+    // The level-major plane — entry `l * TileId::COUNT + t` — must stay
+    // bitwise equal to a fresh `tile_rate_row` at every (cell, tile,
+    // level) along random cell/tile walks, including rows rebuilt into
+    // recycled freelist boxes after eviction (tiny capacity keeps the
+    // walk churning).
+    #[test]
+    fn level_major_plane_matches_fresh_rate_rows_under_churn(
+        cells in prop::collection::vec((-40i32..40, -40i32..40, 0u8..4), 1..120),
+    ) {
+        let sizing = TileSizeModel::paper_default();
+        let levels = sizing.levels();
+        let count = usize::from(TileId::COUNT);
+        let mut plane = RatePlane::new(sizing.clone(), 2);
+        let mut fresh = vec![0.0f64; levels];
+        for (x, z, t) in cells {
+            let cell = CellId { x, z };
+            let tile = TileId::new(t);
+            let rows = plane.rows(cell).to_vec();
+            prop_assert_eq!(rows.len(), levels * count);
+            sizing.tile_rate_row(cell, tile, &mut fresh);
+            for l in 0..levels {
+                prop_assert_eq!(
+                    rows[l * count + usize::from(t)].to_bits(),
+                    fresh[l].to_bits(),
+                    "cell {:?} tile {} level {} drifted from tile_rate_row",
+                    cell,
+                    t,
+                    l + 1
+                );
+            }
+            // The legacy per-tile view gathers the same bits back out of
+            // the level-major storage.
+            let gathered = plane.row(cell, tile).to_vec();
+            for l in 0..levels {
+                prop_assert_eq!(gathered[l].to_bits(), fresh[l].to_bits());
+            }
+        }
+    }
+
     #[test]
     fn lru_keeps_most_recent(
         capacity in 2usize..16,

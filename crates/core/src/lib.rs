@@ -50,6 +50,8 @@
 //! * [`objective`] — the per-slot objective `h_n` (Eq. 9) and slot problem.
 //! * [`alloc`] — Algorithm 1 and its pure-greedy ablations.
 //! * [`engine`] — the reusable zero-allocation slot solver with stage timing.
+//! * [`stage`] — fused, autovectorisable staging kernels shared by every
+//!   per-slot problem-build path.
 //! * [`baselines`] — Firefly LRU and modified PAVQ comparators.
 //! * [`offline`] — exact solvers and the fractional bound (Theorem 1).
 //! * [`qoe`] — horizon QoE accounting.
@@ -67,6 +69,7 @@ pub mod offline;
 pub mod qoe;
 pub mod quality;
 pub mod rate;
+pub mod stage;
 pub mod variance;
 
 /// Convenient glob import of the most commonly used items.
@@ -83,5 +86,9 @@ pub mod prelude {
     pub use crate::qoe::{SystemQoeSummary, UserQoeAccumulator, UserQoeSummary};
     pub use crate::quality::{QualityLevel, QualitySet};
     pub use crate::rate::{RateFunction, TabulatedRate};
+    pub use crate::stage::{
+        accumulate_group_values, stage_rates, stage_rates_values, stage_rates_values_with,
+        CONTROL_OVERHEAD_MBPS,
+    };
     pub use crate::variance::VarianceTracker;
 }

@@ -13,8 +13,26 @@ use cvr_core::objective::{SlotProblem, UserSlot};
 use cvr_core::offline::{
     dp_slot_optimum, exact_slot_optimum, exhaustive_slot_optimum, fractional_upper_bound,
 };
+use cvr_core::stage::{
+    accumulate_group_values, stage_rates, stage_rates_values, stage_rates_values_with,
+};
 use cvr_core::variance::{population_variance, VarianceTracker};
 use proptest::prelude::*;
+
+/// Staging-kernel operand strategy: ordinary magnitudes plus the awkward
+/// bit patterns (±0.0, denormals) where `a + b` bit-identity could slip.
+fn staging_f64() -> impl Strategy<Value = f64> {
+    // Selector values >= 5 mean "ordinary magnitude" (the shim has no
+    // weighted-union strategy, so a byte picks the case).
+    (0u8..10, -1.0e3f64..1.0e3).prop_map(|(kind, x)| match kind {
+        0 => 0.0,
+        1 => -0.0,
+        2 => 4.9e-324,  // smallest positive denormal
+        3 => -4.9e-324, // smallest negative denormal
+        4 => 1.0e-310,  // mid-range denormal
+        _ => x,
+    })
+}
 
 /// Strategy: one user with concave values over convex-ish increasing rates.
 fn concave_user() -> impl Strategy<Value = UserSlot> {
@@ -327,5 +345,72 @@ proptest! {
         let lo = hit.min(miss) - 1e-12;
         let hi = hit.max(miss) + 1e-12;
         prop_assert!(expected >= lo && expected <= hi);
+    }
+
+    // The fused staging kernels must be *bitwise* equal to their scalar
+    // reference loops at every length — including tails that are not a
+    // multiple of the 4-wide lane — and for denormal and ±0.0 operands.
+    #[test]
+    fn stage_rates_matches_scalar_reference_bitwise(
+        sums in prop::collection::vec(staging_f64(), 0..23),
+        overhead in staging_f64(),
+    ) {
+        let mut rates = vec![f64::NAN; sums.len()];
+        stage_rates(&sums, overhead, &mut rates);
+        for (l, (&s, &r)) in sums.iter().zip(&rates).enumerate() {
+            prop_assert_eq!((s + overhead).to_bits(), r.to_bits(), "level {} drifted", l);
+        }
+    }
+
+    #[test]
+    fn stage_rates_values_copies_weights_and_adds_overhead_bitwise(
+        rows in prop::collection::vec((staging_f64(), staging_f64()), 0..23),
+        overhead in staging_f64(),
+    ) {
+        let sums: Vec<f64> = rows.iter().map(|r| r.0).collect();
+        let weights: Vec<f64> = rows.iter().map(|r| r.1).collect();
+        let mut rates = vec![f64::NAN; sums.len()];
+        let mut values = vec![f64::NAN; sums.len()];
+        stage_rates_values(&sums, overhead, &weights, &mut rates, &mut values);
+        for l in 0..sums.len() {
+            prop_assert_eq!((sums[l] + overhead).to_bits(), rates[l].to_bits());
+            prop_assert_eq!(weights[l].to_bits(), values[l].to_bits());
+        }
+    }
+
+    #[test]
+    fn stage_rates_values_with_hands_raw_rate_to_the_closure(
+        sums in prop::collection::vec(staging_f64(), 0..23),
+        overhead in staging_f64(),
+        scale in staging_f64(),
+    ) {
+        let mut rates = vec![f64::NAN; sums.len()];
+        let mut values = vec![f64::NAN; sums.len()];
+        stage_rates_values_with(&sums, overhead, &mut rates, &mut values, |l, raw| {
+            scale * (l + 1) as f64 + raw
+        });
+        for l in 0..sums.len() {
+            let raw = sums[l] + overhead;
+            prop_assert_eq!(raw.to_bits(), rates[l].to_bits());
+            prop_assert_eq!((scale * (l + 1) as f64 + raw).to_bits(), values[l].to_bits());
+        }
+    }
+
+    #[test]
+    fn accumulate_group_values_matches_clamped_scalar_fold(
+        member in prop::collection::vec(staging_f64(), 1..23),
+        seed in prop::collection::vec(staging_f64(), 1..23),
+        cap_raw in 0usize..23,
+    ) {
+        let levels = member.len().min(seed.len());
+        let member = &member[..levels];
+        let seed = &seed[..levels];
+        let cap = cap_raw % levels;
+        let mut fused = seed.to_vec();
+        accumulate_group_values(member, cap, &mut fused);
+        for l in 0..levels {
+            let expect = seed[l] + member[l.min(cap)];
+            prop_assert_eq!(expect.to_bits(), fused[l].to_bits(), "level {} drifted", l);
+        }
     }
 }

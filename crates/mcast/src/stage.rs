@@ -23,6 +23,7 @@
 
 use cvr_core::engine::SlotEngine;
 use cvr_core::objective::RATE_EPS;
+use cvr_core::stage::accumulate_group_values;
 
 /// One group member's staging inputs: its per-level objective values
 /// (computed exactly as the unicast build would) and its link budget.
@@ -92,9 +93,9 @@ pub fn stage_group(
         assert_eq!(member.values.len(), levels, "value row length mismatch");
         let cap = cap_level(shared_rates, member.link_budget);
         caps_out.push(cap);
-        for (l, out) in tables.values.iter_mut().enumerate() {
-            *out += member.values[l.min(cap)];
-        }
+        // `values[l] += member.values[min(l, cap)]`, as a contiguous
+        // vectorisable prefix plus a clamped constant tail.
+        accumulate_group_values(member.values, cap, tables.values);
     }
     index
 }

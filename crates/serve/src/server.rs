@@ -32,6 +32,7 @@ use cvr_core::engine::{SlotEngine, StageClock};
 use cvr_core::objective::QoeParams;
 use cvr_core::qoe::{UserQoeAccumulator, UserQoeSummary};
 use cvr_core::quality::QualityLevel;
+use cvr_core::stage::{stage_rates_values_with, CONTROL_OVERHEAD_MBPS};
 use cvr_core::variance::VarianceTracker;
 use cvr_mcast::{content_fingerprint, stage_group, GroupKey, GroupMember, GroupTracker};
 use cvr_motion::accuracy::DeltaEstimator;
@@ -46,10 +47,6 @@ use cvr_sim::system::{sanitize_rates, DELAY_CAP_SLOTS, PIPELINE_SLOTS};
 use crate::protocol::{ClientMessage, ServerMessage, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
 use crate::ticker::SlotTicker;
 use crate::transport::{SendStatus, ServerTransport};
-
-/// Control/pose-stream overhead always present on the downlink, Mbps
-/// (mirrors the system simulator's constant).
-const CONTROL_OVERHEAD_MBPS: f64 = 0.2;
 
 /// One-way propagation delay of the wireless hop, seconds (mirrors the
 /// system simulator's constant).
@@ -1050,15 +1047,19 @@ impl Session {
                     let tracker = plan_tracker[u];
                     let fallback = Mm1Delay::new(plan_bn[u]).expect("positive estimate");
                     let sums = &plan_sums[u * levels..(u + 1) * levels];
-                    for l in 1..=levels {
-                        let q = QualityLevel::new(l as u8);
-                        rates[q.index()] = sums[q.index()] + CONTROL_OVERHEAD_MBPS;
-                        let raw = rates[q.index()];
-                        let delay = fallback.delay(raw) + floor_slots;
-                        values[q.index()] = delta * q.value()
-                            - params.alpha * delay
-                            - params.beta * tracker.expected_penalty(q.value(), delta);
-                    }
+                    stage_rates_values_with(
+                        sums,
+                        CONTROL_OVERHEAD_MBPS,
+                        rates,
+                        values,
+                        |l, raw| {
+                            let q = QualityLevel::new((l + 1) as u8);
+                            let delay = fallback.delay(raw) + floor_slots;
+                            delta * q.value()
+                                - params.alpha * delay
+                                - params.beta * tracker.expected_penalty(q.value(), delta)
+                        },
+                    );
                     sanitize_rates(rates);
                 },
             );

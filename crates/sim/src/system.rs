@@ -27,6 +27,7 @@ use cvr_core::engine::SlotEngine;
 use cvr_core::objective::QoeParams;
 use cvr_core::qoe::{SystemQoeSummary, UserQoeAccumulator, UserQoeSummary};
 use cvr_core::quality::QualityLevel;
+use cvr_core::stage::{stage_rates_values_with, CONTROL_OVERHEAD_MBPS};
 use cvr_motion::accuracy::DeltaEstimator;
 use cvr_motion::pose::Pose;
 use cvr_motion::predict::LinearPredictor;
@@ -47,9 +48,6 @@ use crate::event::EventQueue;
 /// `s+1` and displayed at `s+2` (Section V, "Pipelining of transmission and
 /// decoding").
 pub const PIPELINE_SLOTS: usize = 2;
-
-/// Control/pose-stream overhead always present on the downlink, Mbps.
-const CONTROL_OVERHEAD_MBPS: f64 = 0.2;
 
 /// One-way propagation delay of the single wireless hop, seconds.
 const PROPAGATION_S: f64 = 0.002;
@@ -657,31 +655,37 @@ pub fn run_instrumented(
                         floor_slots,
                     };
                     let sums = undelivered[u].sums();
-                    for l in 1..=levels {
-                        let q = QualityLevel::new(l as u8);
-                        rates[q.index()] = sums[q.index()] + CONTROL_OVERHEAD_MBPS;
-                        // The objective prices the level at its
-                        // *incremental* transmission cost `raw` (the
-                        // suppressed rate), not the full-library rate —
-                        // what this slot will actually send.
-                        let raw = rates[q.index()];
-                        let delta_eff = match mode {
-                            ObjectiveMode::LossAware => {
-                                let packets = packets_for_rate(raw, dt, config.packet_size_kbit);
-                                let survive = 1.0 - transfer_loss_probability(loss_p, packets);
-                                delta * survive
-                            }
-                            _ => delta,
-                        };
-                        let quality_term = delta_eff * q.value();
-                        let delay_term = match mode {
-                            ObjectiveMode::DelayBlind => 0.0,
-                            _ => config.params.alpha * delay_model.delay(raw),
-                        };
-                        let variance_term =
-                            config.params.beta * tracker.expected_penalty(q.value(), delta_eff);
-                        values[q.index()] = quality_term - delay_term - variance_term;
-                    }
+                    // The objective prices each level at its *incremental*
+                    // transmission cost `raw` (the suppressed rate), not
+                    // the full-library rate — what this slot will actually
+                    // send. The fused kernel stages the rate row and hands
+                    // `raw` to the unchanged value formula per level.
+                    stage_rates_values_with(
+                        sums,
+                        CONTROL_OVERHEAD_MBPS,
+                        rates,
+                        values,
+                        |l, raw| {
+                            let q = QualityLevel::new((l + 1) as u8);
+                            let delta_eff = match mode {
+                                ObjectiveMode::LossAware => {
+                                    let packets =
+                                        packets_for_rate(raw, dt, config.packet_size_kbit);
+                                    let survive = 1.0 - transfer_loss_probability(loss_p, packets);
+                                    delta * survive
+                                }
+                                _ => delta,
+                            };
+                            let quality_term = delta_eff * q.value();
+                            let delay_term = match mode {
+                                ObjectiveMode::DelayBlind => 0.0,
+                                _ => config.params.alpha * delay_model.delay(raw),
+                            };
+                            let variance_term =
+                                config.params.beta * tracker.expected_penalty(q.value(), delta_eff);
+                            quality_term - delay_term - variance_term
+                        },
+                    );
                     sanitize_rates(rates);
                 },
             );

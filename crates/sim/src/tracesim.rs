@@ -30,6 +30,7 @@ use cvr_core::offline::fractional_upper_bound;
 use cvr_core::qoe::{SystemQoeSummary, UserQoeAccumulator, UserQoeSummary};
 use cvr_core::quality::QualityLevel;
 use cvr_core::rate::RateFunction;
+use cvr_core::stage::stage_rates_values_with;
 use cvr_motion::accuracy::DeltaEstimator;
 use cvr_motion::predict::LinearPredictor;
 use cvr_motion::synthetic::{MotionConfig, MotionGenerator};
@@ -336,10 +337,14 @@ pub fn run_instrumented(
                     let delta = deltas[u].estimate();
                     let tracker = *accumulators[u].tracker();
                     let table = SliceRate(rate_sums[u].sums());
-                    for l in 1..=levels {
-                        let q = QualityLevel::new(l as u8);
-                        rates[q.index()] = table.rate(q);
-                        values[q.index()] = if delay_aware {
+                    // The Section-IV trace model has no control stream, so
+                    // the staged rate row is the undelivered sums verbatim:
+                    // zero overhead keeps the kernel's `sums[l] + 0.0` a
+                    // bitwise copy (the sums are non-negative fold results,
+                    // never -0.0).
+                    stage_rates_values_with(table.0, 0.0, rates, values, |l, _raw| {
+                        let q = QualityLevel::new((l + 1) as u8);
+                        if delay_aware {
                             h_value(params, delta, &tracker, &table, &delay_model, q)
                         } else {
                             h_value(
@@ -350,8 +355,8 @@ pub fn run_instrumented(
                                 &cvr_core::delay::ZeroDelay::new(),
                                 q,
                             )
-                        };
-                    }
+                        }
+                    });
                 },
             );
         }
