@@ -63,13 +63,20 @@ cargo run -p cvr-bench --release --bin net_bench -- --runs 2 --duration 10 --csv
 diff -r "$DET_DIR/net-t1" "$DET_DIR/net-t4"
 echo "net scenarios: outputs byte-for-byte identical"
 
+step "Lookahead sweep: horizon matrix at 1 vs 4 threads, byte-identical CSVs"
+cargo run -p cvr-bench --release --bin lookahead_bench -- --runs 2 --duration 10 --csv "$DET_DIR/la-t1" --threads 1
+cargo run -p cvr-bench --release --bin lookahead_bench -- --runs 2 --duration 10 --csv "$DET_DIR/la-t4" --threads 4
+diff -r "$DET_DIR/la-t1" "$DET_DIR/la-t4"
+echo "lookahead sweep: outputs byte-for-byte identical"
+
 step "Serve smoke: 8 TCP clients over 4 multicast sessions on 2 shards, 200 slots, zero protocol errors"
 SERVE_PORT=7015
 METRICS_PORT=9091
 cargo build --release -p cvr-serve --bins
 cargo run -p cvr-serve --release --bin cvr-serve -- \
     --listen "127.0.0.1:$SERVE_PORT" --clients 8 --sessions 4 --shards 2 \
-    --slots 200 --metrics-addr "127.0.0.1:$METRICS_PORT" --multicast &
+    --slots 200 --metrics-addr "127.0.0.1:$METRICS_PORT" --multicast \
+    --horizon 4 &
 SERVE_PID=$!
 cargo run -p cvr-serve --release --bin cvr-client -- \
     --connect "127.0.0.1:$SERVE_PORT" --count 8 --slots 200 --seed 1 &
@@ -85,7 +92,7 @@ for _ in $(seq 1 40); do
 done
 for family in cvr_slot_stage_ns_bucket cvr_tick_overruns_total \
     cvr_session_clients cvr_ticks_total cvr_session_joins_total \
-    cvr_mcast_groups \
+    cvr_mcast_groups cvr_lookahead_fov_overlap \
     'cvr_shard_sessions{shard="0"} 2' 'cvr_shard_sessions{shard="1"} 2'; do
     printf '%s' "$SCRAPE" | grep -qF "$family" \
         || { echo "obs smoke: missing $family in scrape"; exit 1; }
@@ -107,6 +114,7 @@ cargo run -p cvr-bench --release --bin build_bench -- --quick
 cargo run -p cvr-bench --release --bin obs_bench -- --quick
 cargo run -p cvr-bench --release --bin net_bench -- --quick
 cargo run -p cvr-bench --release --bin mcast_bench -- --quick
+cargo run -p cvr-bench --release --bin lookahead_bench -- --quick
 cargo run -p cvr-bench --release --bin bench_check
 
 step "CI pipeline passed"

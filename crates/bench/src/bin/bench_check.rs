@@ -39,6 +39,12 @@
 //!   fewer megabits on the wire, stay bit-identical across thread
 //!   counts, and keep one-member groups bit-identical to the unicast
 //!   path (singleton parity).
+//! * `BENCH_lookahead.json` — the horizon sweep must cover every
+//!   impairment pathology, stay bit-identical across thread counts,
+//!   keep the H = 1 column bit-identical to the horizonless config
+//!   (lookahead is pay-for-what-you-use), and some H > 1 horizon must
+//!   reach QoE ≥ myopic with no higher quality variance on at least
+//!   3 of the 5 pathologies.
 //!
 //! Run after the benches: `cargo run -p cvr-bench --release --bin bench_check`
 
@@ -65,6 +71,7 @@ const NET_BASELINES: [&str; 2] = ["firefly", "pavq"];
 const MIN_NET_WINS: usize = 4;
 const MIN_MCAST_GAIN: f64 = 1.2;
 const MIN_MCAST_GAIN_USERS: usize = 32;
+const MIN_LOOKAHEAD_WINS: usize = 3;
 
 /// One row of the gate table: which artifact to load and which check
 /// function judges it.
@@ -76,7 +83,7 @@ struct GateSpec {
 
 /// The declarative gate table `main` walks. New benches join the gate
 /// by adding one row here.
-const GATES: [GateSpec; 8] = [
+const GATES: [GateSpec; 9] = [
     GateSpec {
         name: "slot_engine",
         file: "BENCH_slot_engine.json",
@@ -116,6 +123,11 @@ const GATES: [GateSpec; 8] = [
         name: "mcast",
         file: "BENCH_mcast.json",
         check: check_mcast,
+    },
+    GateSpec {
+        name: "lookahead",
+        file: "BENCH_lookahead.json",
+        check: check_lookahead,
     },
 ];
 
@@ -611,6 +623,77 @@ fn check_mcast(gate: &mut Gate, doc: &Json) {
     gate.check(
         saw_crowded,
         format!("mcast: sweep reaches >= {MIN_MCAST_GAIN_USERS} co-located users"),
+    );
+}
+
+fn check_lookahead(gate: &mut Gate, doc: &Json) {
+    gate.check(
+        doc.get("deterministic")
+            .and_then(Json::as_bool)
+            .unwrap_or(false),
+        "lookahead: horizon sweep bit-identical across thread counts".to_string(),
+    );
+    let fp_main = doc.get("fingerprint_main").and_then(Json::as_str);
+    let fp_check = doc.get("fingerprint_check").and_then(Json::as_str);
+    gate.check(
+        fp_main.is_some() && fp_main == fp_check,
+        format!(
+            "lookahead: determinism fingerprints match ({} vs {})",
+            fp_main.unwrap_or("missing"),
+            fp_check.unwrap_or("missing")
+        ),
+    );
+    gate.check(
+        doc.get("h1_equals_myopic")
+            .and_then(Json::as_bool)
+            .unwrap_or(false),
+        "lookahead: H = 1 column bit-identical to the horizonless config".to_string(),
+    );
+    let rows = doc
+        .get("rows")
+        .and_then(Json::as_array)
+        .expect("lookahead JSON has a `rows` array");
+    let mut qoe_wins = 0usize;
+    let mut variance_wins = 0usize;
+    for pathology in NET_PATHOLOGIES {
+        let row = rows
+            .iter()
+            .find(|r| r.get("pathology").and_then(Json::as_str) == Some(pathology));
+        gate.check(
+            row.is_some(),
+            format!("lookahead: pathology `{pathology}` present in the sweep"),
+        );
+        let Some(row) = row else { continue };
+        let horizons = row
+            .get("horizons")
+            .and_then(Json::as_array)
+            .map(<[Json]>::len)
+            .unwrap_or(0);
+        gate.check(
+            horizons >= 2,
+            format!("lookahead {pathology}: sweep covers a horizon beyond myopic"),
+        );
+        qoe_wins += row.get("qoe_win").and_then(Json::as_bool).unwrap_or(false) as usize;
+        variance_wins += row
+            .get("variance_win")
+            .and_then(Json::as_bool)
+            .unwrap_or(false) as usize;
+    }
+    gate.check(
+        qoe_wins >= MIN_LOOKAHEAD_WINS,
+        format!(
+            "lookahead: best horizon QoE >= myopic on {qoe_wins}/{} pathologies \
+             (need >= {MIN_LOOKAHEAD_WINS})",
+            NET_PATHOLOGIES.len()
+        ),
+    );
+    gate.check(
+        variance_wins >= MIN_LOOKAHEAD_WINS,
+        format!(
+            "lookahead: QoE win with no higher quality variance on {variance_wins}/{} \
+             pathologies (need >= {MIN_LOOKAHEAD_WINS})",
+            NET_PATHOLOGIES.len()
+        ),
     );
 }
 

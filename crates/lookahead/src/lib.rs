@@ -1,0 +1,114 @@
+//! # cvr-lookahead
+//!
+//! Horizon-H predictive allocation on top of the per-slot engine: the
+//! paper's Algorithm 1 is myopic, but the motion predictor already
+//! extrapolates poses several slots ahead. This crate turns that window
+//! into two bounded, deterministic policies that compose with the
+//! existing staging/ledger machinery instead of replacing it:
+//!
+//! * **Prefetch credit** ([`prefetch`]): when the current slot's
+//!   allocation leaves slack against the server budget — constraint (7) —
+//!   a bounded credit pre-stages base-quality tiles for FoVs predicted at
+//!   slots `t+1..t+H`, charged to the [`cvr_content::DeliveryLedger`] so
+//!   retransmission suppression sees them the moment the user arrives.
+//! * **Anticipatory degrade** ([`degrade`]): a per-user state machine
+//!   that trend-extrapolates the bandwidth estimate over the horizon and
+//!   ramps the link budget down smoothly *ahead* of predicted dips (and
+//!   back up slowly after them) instead of cliff-dropping quality when
+//!   the EMA finally catches up.
+//!
+//! Both policies are pure functions of their inputs — no clocks, no
+//! randomness — so horizon-H runs stay bit-identical at every thread
+//! count. Callers gate every lookahead code path on `horizon > 1`; at
+//! `H = 1` nothing in this crate runs and the per-slot allocator is
+//! byte-for-byte the paper's (the Theorem-1 parity argument: the H = 1
+//! path is not a degenerate configuration of the lookahead code, it is
+//! the *absence* of the lookahead code).
+//!
+//! ```
+//! use cvr_lookahead::LookaheadConfig;
+//!
+//! let myopic = LookaheadConfig::for_horizon(1);
+//! assert!(!myopic.active());
+//! let predictive = LookaheadConfig::for_horizon(4);
+//! assert!(predictive.active());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod degrade;
+pub mod prefetch;
+
+pub use degrade::{AnticipatoryDegrade, DegradeConfig, DegradePhase};
+pub use prefetch::{slot_credit, PrefetchConfig, Prefetcher};
+
+use cvr_content::tile::TileId;
+
+/// Bundled lookahead policy parameters for one horizon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LookaheadConfig {
+    /// Allocation horizon in display slots. `1` is the paper's myopic
+    /// allocator; `H > 1` additionally plans for the `H − 1` slots after
+    /// the display slot.
+    pub horizon: usize,
+    /// Anticipatory-degrade policy parameters.
+    pub degrade: DegradeConfig,
+    /// Prefetch-credit policy parameters.
+    pub prefetch: PrefetchConfig,
+}
+
+impl LookaheadConfig {
+    /// Default policies for the given horizon (≥ 1).
+    pub fn for_horizon(horizon: usize) -> Self {
+        LookaheadConfig {
+            horizon: horizon.max(1),
+            degrade: DegradeConfig::default(),
+            prefetch: PrefetchConfig::default(),
+        }
+    }
+
+    /// Whether any lookahead machinery should run at all. Callers must
+    /// skip every lookahead code path when this is `false` — that skip
+    /// *is* the H = 1 bit-parity guarantee.
+    pub fn active(&self) -> bool {
+        self.horizon > 1
+    }
+}
+
+/// Number of actual-FoV tiles that were also in the predicted FoV —
+/// the per-horizon accuracy signal behind the
+/// `cvr_lookahead_fov_overlap` histogram (0..=[`TileId::COUNT`]).
+///
+/// Tile sets are tiny (≤ 4 entries), so the quadratic scan beats any
+/// hashing, and the result only depends on set membership — caller
+/// ordering cannot perturb it.
+pub fn fov_tile_overlap(predicted: &[TileId], actual: &[TileId]) -> u32 {
+    actual.iter().filter(|t| predicted.contains(t)).count() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_counts_shared_tiles() {
+        let a = [TileId::new(0), TileId::new(1), TileId::new(2)];
+        let b = [TileId::new(1), TileId::new(2), TileId::new(3)];
+        assert_eq!(fov_tile_overlap(&a, &b), 2);
+        assert_eq!(fov_tile_overlap(&b, &a), 2);
+        assert_eq!(fov_tile_overlap(&a, &a), 3);
+        assert_eq!(fov_tile_overlap(&a, &[]), 0);
+        assert_eq!(fov_tile_overlap(&[], &b), 0);
+    }
+
+    #[test]
+    fn config_activity_follows_horizon() {
+        assert!(!LookaheadConfig::for_horizon(0).active());
+        assert_eq!(LookaheadConfig::for_horizon(0).horizon, 1);
+        assert!(!LookaheadConfig::for_horizon(1).active());
+        for h in [2, 4, 8] {
+            assert!(LookaheadConfig::for_horizon(h).active());
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Property-based tests for the prefetch-credit / delivery-ledger
+//! pairing: charging a prefetched tile must be idempotent (no double
+//! charge, no re-stage once delivered), and a prediction that never
+//! materialises must release cleanly — a wrong prefetch leaves zero
+//! trace in either the ledger or the undelivered sums.
+
+use cvr_content::cache::{DeliveryLedger, UndeliveredSums};
+use cvr_content::grid::CellId;
+use cvr_content::id::VideoId;
+use cvr_content::plane::RatePlane;
+use cvr_content::sizing::TileSizeModel;
+use cvr_content::tile::TileId;
+use cvr_core::quality::QualityLevel;
+use cvr_lookahead::Prefetcher;
+use proptest::prelude::*;
+
+/// Brute-force undelivered sums for `(cell, tiles)` straight from the
+/// sizing model and the ledger — the reference the incremental state is
+/// held to.
+fn brute_sums(
+    sizing: &TileSizeModel,
+    ledger: &DeliveryLedger,
+    cell: CellId,
+    tiles: &[TileId],
+) -> Vec<f64> {
+    let levels = sizing.levels();
+    let mut row = vec![0.0f64; levels];
+    let mut sums = vec![0.0f64; levels];
+    for l in 0..levels {
+        let q = QualityLevel::new((l + 1) as u8);
+        for &tile in tiles {
+            if !ledger.is_delivered(&VideoId::new(cell, tile, q)) {
+                sizing.tile_rate_row(cell, tile, &mut row);
+                sums[l] += row[l];
+            }
+        }
+    }
+    sums
+}
+
+fn all_tiles() -> [TileId; TileId::COUNT as usize] {
+    [
+        TileId::new(0),
+        TileId::new(1),
+        TileId::new(2),
+        TileId::new(3),
+    ]
+}
+
+proptest! {
+    // No double charge: acknowledging a prefetched tile twice is
+    // bit-identical to acknowledging it once, and once delivered the
+    // tile is excluded from the staged sums (never re-staged) no matter
+    // how the user's walk retargets around it.
+    #[test]
+    fn prefetched_then_delivered_tiles_are_never_restaged(
+        prefetches in prop::collection::vec(
+            (-8i32..8, -8i32..8, 0u8..4, 1u8..=6, proptest::bool::ANY),
+            1..60,
+        ),
+        walk in prop::collection::vec((-8i32..8, -8i32..8), 1..20),
+    ) {
+        let sizing = TileSizeModel::paper_default();
+        let levels = sizing.levels();
+        let mut plane = RatePlane::new(sizing.clone(), 4);
+        let mut ledger = DeliveryLedger::new();
+        let mut sums = UndeliveredSums::new(levels);
+        let tiles = all_tiles();
+        sums.retarget(CellId { x: 0, z: 0 }, &tiles, plane.rows(CellId { x: 0, z: 0 }), &ledger);
+
+        for (x, z, t, q, double) in prefetches {
+            let id = VideoId::new(CellId { x, z }, TileId::new(t), QualityLevel::new(q));
+            sums.acknowledge(&mut ledger, id);
+            let after_first: Vec<u64> = sums.sums().iter().map(|s| s.to_bits()).collect();
+            if double {
+                // The duplicate spend the ledger pairing must absorb.
+                sums.acknowledge(&mut ledger, id);
+                let after_second: Vec<u64> = sums.sums().iter().map(|s| s.to_bits()).collect();
+                prop_assert_eq!(&after_first, &after_second, "double ACK changed the sums");
+            }
+            prop_assert!(ledger.is_delivered(&id));
+        }
+
+        for (x, z) in walk {
+            let cell = CellId { x, z };
+            sums.retarget(cell, &tiles, plane.rows(cell), &ledger);
+            sums.assert_matches_ledger(&ledger);
+            let brute = brute_sums(&sizing, &ledger, cell, &tiles);
+            for (l, expected) in brute.iter().enumerate() {
+                prop_assert_eq!(
+                    sums.sums()[l].to_bits(),
+                    expected.to_bits(),
+                    "level {} re-staged a delivered tile at {:?}",
+                    l + 1,
+                    cell
+                );
+            }
+        }
+    }
+
+    // Clean release on cell change: prefetch tiles for predicted cells,
+    // then move somewhere that invalidates a subset of the predictions.
+    // Reconcile + release must leave the ledger and sums bit-identical
+    // to a run that never prefetched the abandoned cells at all, while
+    // cells still predicted stay tracked and an arrival cell keeps its
+    // ledger entries with tracking dropped.
+    #[test]
+    fn wrong_predictions_release_cleanly_on_cell_change(
+        cells in prop::collection::vec((-6i32..6, -6i32..6, 0u8..4, 1u8..=6), 1..40),
+        current in (-6i32..6, -6i32..6),
+        keep_mask in prop::collection::vec(proptest::bool::ANY, 1..40),
+    ) {
+        let sizing = TileSizeModel::paper_default();
+        let levels = sizing.levels();
+        let mut plane = RatePlane::new(sizing.clone(), 4);
+        let mut ledger = DeliveryLedger::new();
+        let mut sums = UndeliveredSums::new(levels);
+        let mut prefetcher = Prefetcher::new();
+        let tiles = all_tiles();
+        let current = CellId { x: current.0, z: current.1 };
+        sums.retarget(current, &tiles, plane.rows(current), &ledger);
+
+        for (x, z, t, q) in &cells {
+            let cell = CellId { x: *x, z: *z };
+            let id = VideoId::new(cell, TileId::new(*t), QualityLevel::new(*q));
+            if ledger.is_delivered(&id) {
+                continue;
+            }
+            sums.acknowledge(&mut ledger, id);
+            prefetcher.note(cell, id);
+        }
+
+        // The slot's surviving predictions: a random subset of the
+        // prefetched cells (everything else never materialised).
+        let predicted: Vec<CellId> = prefetcher_cells(&prefetcher)
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| keep_mask.get(i % keep_mask.len()).copied().unwrap_or(false))
+            .map(|(_, c)| c)
+            .collect();
+
+        let mut released = Vec::new();
+        prefetcher.reconcile(current, &predicted, &mut released);
+
+        // Tracking: survivors are exactly the predicted, non-current
+        // cells; the arrival cell keeps its ledger entries untracked.
+        for cell in &predicted {
+            if *cell != current {
+                prop_assert!(prefetcher.holds(*cell), "predicted cell {:?} lost", cell);
+            }
+        }
+        prop_assert!(!prefetcher.holds(current));
+
+        // Release: every abandoned id leaves the ledger...
+        sums.release(&mut ledger, released.iter().copied());
+        for id in &released {
+            prop_assert!(!ledger.is_delivered(id), "released id {:?} still delivered", id);
+            prop_assert!(!prefetcher.contains(id));
+        }
+        sums.assert_matches_ledger(&ledger);
+
+        // ...and the ledger is bit-identical to one that only ever saw
+        // the surviving prefetches: staged sums agree everywhere the
+        // walk could land next.
+        let mut reference = DeliveryLedger::new();
+        for (x, z, t, q) in &cells {
+            let cell = CellId { x: *x, z: *z };
+            let id = VideoId::new(cell, TileId::new(*t), QualityLevel::new(*q));
+            if cell == current || predicted.contains(&cell) {
+                reference.acknowledge(id);
+            }
+        }
+        for (x, z, _, _) in &cells {
+            let cell = CellId { x: *x, z: *z };
+            sums.retarget(cell, &tiles, plane.rows(cell), &ledger);
+            let brute = brute_sums(&sizing, &reference, cell, &tiles);
+            for (l, expected) in brute.iter().enumerate() {
+                prop_assert_eq!(
+                    sums.sums()[l].to_bits(),
+                    expected.to_bits(),
+                    "abandoned prefetch left a trace at {:?} level {}",
+                    cell,
+                    l + 1
+                );
+            }
+        }
+    }
+
+    // Teardown drains everything: after drain + release the ledger holds
+    // nothing the prefetcher ever noted.
+    #[test]
+    fn drain_releases_every_outstanding_tile(
+        cells in prop::collection::vec((-6i32..6, -6i32..6, 0u8..4, 1u8..=6), 1..40),
+    ) {
+        let sizing = TileSizeModel::paper_default();
+        let mut ledger = DeliveryLedger::new();
+        let mut sums = UndeliveredSums::new(sizing.levels());
+        let mut prefetcher = Prefetcher::new();
+        let mut noted = Vec::new();
+        for (x, z, t, q) in cells {
+            let id = VideoId::new(CellId { x, z }, TileId::new(t), QualityLevel::new(q));
+            if ledger.is_delivered(&id) {
+                continue;
+            }
+            sums.acknowledge(&mut ledger, id);
+            prefetcher.note(id.cell(), id);
+            noted.push(id);
+        }
+        let drained = prefetcher.drain();
+        prop_assert_eq!(drained.len(), noted.len());
+        prop_assert_eq!(prefetcher.outstanding_tiles(), 0);
+        sums.release(&mut ledger, drained);
+        for id in &noted {
+            prop_assert!(!ledger.is_delivered(id));
+        }
+    }
+}
+
+/// The cells currently tracked by `p`, in insertion order (the tracker
+/// has no public cell iterator; recover them via `holds` over the noted
+/// universe is racy, so probe the small coordinate box instead).
+fn prefetcher_cells(p: &Prefetcher) -> Vec<CellId> {
+    let mut cells = Vec::new();
+    for x in -6i32..6 {
+        for z in -6i32..6 {
+            let c = CellId { x, z };
+            if p.holds(c) {
+                cells.push(c);
+            }
+        }
+    }
+    cells
+}

@@ -93,8 +93,16 @@ impl LinearPredictor {
         }
     }
 
-    /// Predicts the pose `horizon` observation-intervals ahead of the last
-    /// observation.
+    /// Predicts the pose `horizon` **observation intervals** ahead of the
+    /// last observation.
+    ///
+    /// The horizon unit is observation intervals, *not* slots: when poses
+    /// are observed every `p` slots, `predict(k)` targets the slot `k * p`
+    /// slots after the last observation. Equivalently, a target `k * p`
+    /// slots ahead is `predict_fractional((k * p) as f64 / p as f64)` —
+    /// the two agree bit-for-bit because the regression is fitted in
+    /// observation-index space and only the evaluation abscissa scales
+    /// (see `slot_boundary_semantics_agree_for_non_unit_periods`).
     ///
     /// Returns `None` until at least two observations have been made.
     pub fn predict(&self, horizon: usize) -> Option<Pose> {
@@ -105,8 +113,14 @@ impl LinearPredictor {
     /// needed when observations arrive every `p` slots and the target is
     /// `k` slots ahead (`horizon = k / p` observation intervals).
     ///
-    /// Returns `None` until at least two observations have been made.
+    /// Returns `None` until at least two observations have been made, and
+    /// `None` for non-finite horizons: a NaN or infinite horizon would
+    /// otherwise propagate NaN components into every downstream FoV
+    /// computation, which silently poisons tile selection.
     pub fn predict_fractional(&self, horizon: f64) -> Option<Pose> {
+        if !horizon.is_finite() {
+            return None;
+        }
         let n = self.history[0].len();
         if n < 2 {
             return None;
@@ -249,5 +263,49 @@ mod tests {
     fn paper_default_window_is_8() {
         let p = LinearPredictor::paper_default();
         assert_eq!(p.window, 8);
+    }
+
+    #[test]
+    fn slot_boundary_semantics_agree_for_non_unit_periods() {
+        // Poses observed every `p` slots with the paper-default window:
+        // `predict(k)` (k observation intervals ahead) must agree bitwise
+        // with `predict_fractional((k * p) / p)` — the slot-denominated
+        // spelling used by callers that convert a slot horizon back into
+        // observation intervals. Non-linear motion so the fit is not
+        // trivially exact.
+        for p in [2usize, 3, 5] {
+            let mut predictor = LinearPredictor::paper_default();
+            for i in 0..8 {
+                let t = (i * p) as f64;
+                predictor.observe(&Pose::new(
+                    Vec3::new(0.07 * t + 0.001 * t * t, 1.7, -0.03 * t),
+                    Orientation::new(1.5 * t, 0.25 * t, 0.0),
+                ));
+            }
+            for k in 1usize..=8 {
+                let by_intervals = predictor.predict(k).unwrap();
+                let by_slots = predictor
+                    .predict_fractional((k * p) as f64 / p as f64)
+                    .unwrap();
+                assert_eq!(
+                    by_intervals.components().map(f64::to_bits),
+                    by_slots.components().map(f64::to_bits),
+                    "p={p} k={k}: interval- and slot-denominated horizons diverge"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_horizons_are_rejected() {
+        let mut p = LinearPredictor::new(4);
+        for t in 0..4 {
+            p.observe(&linear_pose(t as f64));
+        }
+        assert!(p.predict_fractional(f64::NAN).is_none());
+        assert!(p.predict_fractional(f64::INFINITY).is_none());
+        assert!(p.predict_fractional(f64::NEG_INFINITY).is_none());
+        // Finite horizons still work after a rejection.
+        assert!(p.predict_fractional(1.5).is_some());
     }
 }

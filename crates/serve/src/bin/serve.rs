@@ -5,7 +5,7 @@
 //! ```text
 //! cvr-serve --listen 127.0.0.1:7015 --clients 8 --slots 200 \
 //!     [--sessions 4] [--shards 2] [--slot-ms 15] \
-//!     [--metrics-addr 127.0.0.1:9090] [--multicast]
+//!     [--metrics-addr 127.0.0.1:9090] [--multicast] [--horizon H]
 //! ```
 //!
 //! Clients are routed to the least-joined session by the host's control
@@ -41,6 +41,7 @@ struct Args {
     slot_ms: f64,
     metrics_addr: Option<String>,
     multicast: bool,
+    horizon: usize,
 }
 
 fn parse_args() -> Args {
@@ -53,6 +54,7 @@ fn parse_args() -> Args {
         slot_ms: 15.0,
         metrics_addr: None,
         multicast: false,
+        horizon: 1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -69,10 +71,12 @@ fn parse_args() -> Args {
             "--slot-ms" => args.slot_ms = value().parse().expect("--slot-ms"),
             "--metrics-addr" => args.metrics_addr = Some(value()),
             "--multicast" => args.multicast = true,
+            "--horizon" => args.horizon = value().parse().expect("--horizon"),
             other => panic!("unknown flag {other}"),
         }
     }
     assert!(args.sessions >= 1, "--sessions must be at least 1");
+    assert!(args.horizon >= 1, "--horizon must be at least 1");
     args
 }
 
@@ -81,6 +85,7 @@ fn main() {
     let config = ServeConfig {
         slot_duration: Duration::from_secs_f64(args.slot_ms / 1000.0),
         multicast: args.multicast,
+        horizon: args.horizon,
         ..ServeConfig::default()
     };
     let queue_frames = config.outbound_queue_frames;

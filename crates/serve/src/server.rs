@@ -24,9 +24,11 @@ use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
 use cvr_content::cache::{DeliveryLedger, UndeliveredSums};
+use cvr_content::grid::CellId;
 use cvr_content::id::VideoId;
 use cvr_content::library::ContentLibrary;
 use cvr_content::plane::{RatePlane, SharedFovCache, DEFAULT_PLANE_CELLS};
+use cvr_content::tile::{tiles_for_pose_into, TileId};
 use cvr_core::delay::{DelayModel, Mm1Delay};
 use cvr_core::engine::{SlotEngine, StageClock};
 use cvr_core::objective::QoeParams;
@@ -34,6 +36,9 @@ use cvr_core::qoe::{UserQoeAccumulator, UserQoeSummary};
 use cvr_core::quality::QualityLevel;
 use cvr_core::stage::{stage_rates_values_with, CONTROL_OVERHEAD_MBPS};
 use cvr_core::variance::VarianceTracker;
+use cvr_lookahead::{
+    fov_tile_overlap, slot_credit, AnticipatoryDegrade, DegradeConfig, LookaheadConfig, Prefetcher,
+};
 use cvr_mcast::{content_fingerprint, stage_group, GroupKey, GroupMember, GroupTracker};
 use cvr_motion::accuracy::DeltaEstimator;
 use cvr_motion::pose::Pose;
@@ -99,6 +104,17 @@ pub struct ServeConfig {
     /// (FoV-jitter hysteresis; membership itself is re-derived every
     /// slot).
     pub mcast_hysteresis_slots: u64,
+    /// Lookahead horizon H in slots. `1` is the paper's myopic per-slot
+    /// planner — no lookahead code runs at all, so the session is
+    /// bit-identical to the pre-lookahead runtime. `H > 1` turns on the
+    /// `cvr-lookahead` subsystem: per-user anticipatory degrade clamps
+    /// the planning bandwidth estimate ahead of fitted-trend dips, budget
+    /// slack prefetches predicted future-cell tiles (they ride the
+    /// outgoing assignment manifests, so the ledger charges them only
+    /// when the client ACKs — unlike the simulator, which models the
+    /// push as delivered), and `cvr_lookahead_fov_overlap{h="…"}`
+    /// histograms score prediction accuracy per horizon step.
+    pub horizon: usize,
 }
 
 impl Default for ServeConfig {
@@ -117,6 +133,7 @@ impl Default for ServeConfig {
             build_threads: 1,
             multicast: false,
             mcast_hysteresis_slots: 8,
+            horizon: 1,
         }
     }
 }
@@ -147,10 +164,13 @@ struct SessionObs {
     g_queue_depth: GaugeId,
     g_slot: GaugeId,
     g_mcast_groups: GaugeId,
+    /// Entry `h − 1` is the `cvr_lookahead_fov_overlap{h="h"}` histogram
+    /// for lookahead step `h ∈ 1..horizon`; empty at `horizon = 1`.
+    h_overlap: Vec<HistogramId>,
 }
 
 impl SessionObs {
-    fn new() -> Self {
+    fn new(horizon: usize) -> Self {
         let mut r = Registry::new();
         let bounds = latency_bounds_ns();
         let stage = |r: &mut Registry, name: &str| {
@@ -208,6 +228,18 @@ impl SessionObs {
             "",
             "Multicast groups (two or more members) formed in the last planned slot",
         );
+        let overlap_bounds: Vec<u64> = (0..=TileId::COUNT as u64).collect();
+        let h_overlap: Vec<HistogramId> = (1..horizon.max(1))
+            .map(|h| {
+                r.histogram(
+                    "cvr_lookahead_fov_overlap",
+                    &format!("h=\"{h}\""),
+                    "Predicted-vs-actual FoV tile overlap (tiles shared, 0..=4) \
+                     per lookahead horizon step",
+                    &overlap_bounds,
+                )
+            })
+            .collect();
         SessionObs {
             registry: r,
             tracer: Tracer::disabled(),
@@ -230,6 +262,7 @@ impl SessionObs {
             g_queue_depth,
             g_slot,
             g_mcast_groups,
+            h_overlap,
         }
     }
 
@@ -251,6 +284,19 @@ struct PredictionRecord {
     predicted: Pose,
     quality: QualityLevel,
     delay_slots: f64,
+}
+
+/// A lookahead FoV prediction awaiting the pose that scores its tile
+/// overlap (the `cvr_lookahead_fov_overlap{h="…"}` series).
+#[derive(Debug, Clone, Copy)]
+struct FovPredictionRecord {
+    /// The client pose sequence this prediction targeted.
+    target_seq: u64,
+    /// Lookahead step, `1..horizon` slots past the display slot.
+    h: usize,
+    /// Predicted visible tile set (first `len` entries valid).
+    tiles: [TileId; TileId::COUNT as usize],
+    len: u8,
 }
 
 /// Per-user server-side state.
@@ -298,6 +344,13 @@ struct UserState {
     /// Bandwidth-floor degrade, held separately from the backpressure
     /// `degraded` flag so queue recovery cannot clear a starvation pin.
     bw_degraded: bool,
+    /// Anticipatory-degrade state over the planning estimate (lookahead
+    /// sessions only; untouched at `horizon = 1`).
+    lookahead_degrade: AnticipatoryDegrade,
+    /// Outstanding prefetched tiles awaiting their ACK or release.
+    prefetcher: Prefetcher,
+    /// Lookahead FoV predictions awaiting their scoring pose.
+    fov_predictions: VecDeque<FovPredictionRecord>,
     seed: u64,
 }
 
@@ -334,6 +387,9 @@ impl UserState {
             link_switches: 0,
             multilink: false,
             bw_degraded: false,
+            lookahead_degrade: AnticipatoryDegrade::new(DegradeConfig::default()),
+            prefetcher: Prefetcher::new(),
+            fov_predictions: VecDeque::new(),
             seed,
         }
     }
@@ -447,6 +503,8 @@ pub struct Session {
     groups: GroupTracker,
     /// Multicast groups (≥2 members) formed in the last planned slot.
     mcast_groups_last: usize,
+    /// Lookahead policy derived from `config.horizon` (inactive at 1).
+    lookahead: LookaheadConfig,
     // Reused per-slot scratch, engine-index order. The `plan_*` tables
     // are flat copies of per-user build inputs: `UserState` owns a
     // non-`Sync` transport, so the parallel fill reads these instead.
@@ -469,6 +527,14 @@ pub struct Session {
     staged_members: Vec<Vec<usize>>,
     staged_caps: Vec<Vec<usize>>,
     staged_gid: Vec<u64>,
+    /// Per-plan-index prefetch manifest extensions staged this slot
+    /// (empty at `horizon = 1` or when the pass skipped every user).
+    plan_prefetch: Vec<Vec<VideoId>>,
+    future_cells: Vec<CellId>,
+    future_poses: Vec<Pose>,
+    prefetch_tiles: Vec<TileId>,
+    prefetch_released: Vec<VideoId>,
+    fov_actual: Vec<TileId>,
     manifest: Vec<VideoId>,
     payload: Vec<u8>,
 }
@@ -480,6 +546,8 @@ impl Session {
         let plane = RatePlane::new(library.sizing().clone(), DEFAULT_PLANE_CELLS);
         let shared_fov = SharedFovCache::new(*library.fov());
         let groups = GroupTracker::new(config.mcast_hysteresis_slots);
+        let obs = SessionObs::new(config.horizon);
+        let lookahead = LookaheadConfig::for_horizon(config.horizon);
         Session {
             config,
             library,
@@ -490,7 +558,7 @@ impl Session {
             next_user_id: 0,
             slot: 0,
             counters: ServerCounters::default(),
-            obs: SessionObs::new(),
+            obs,
             ingest_clock: StageClock::default(),
             transmit_clock: StageClock::default(),
             tick_clock: StageClock::default(),
@@ -498,6 +566,7 @@ impl Session {
             shared_fov,
             groups,
             mcast_groups_last: 0,
+            lookahead,
             plan_ids: Vec::new(),
             plan_predicted: Vec::new(),
             plan_bn: Vec::new(),
@@ -510,6 +579,12 @@ impl Session {
             staged_members: Vec::new(),
             staged_caps: Vec::new(),
             staged_gid: Vec::new(),
+            plan_prefetch: Vec::new(),
+            future_cells: Vec::new(),
+            future_poses: Vec::new(),
+            prefetch_tiles: Vec::new(),
+            prefetch_released: Vec::new(),
+            fov_actual: Vec::new(),
             manifest: Vec::new(),
             payload: Vec::new(),
         }
@@ -832,6 +907,25 @@ impl Session {
                             user.delta.record(hit);
                             user.qoe.record(record.quality, hit, record.delay_slots);
                         }
+                        // Score lookahead FoV predictions the same way:
+                        // this pose (or an earlier, missed one) is the
+                        // ground truth for every record it has caught up
+                        // with.
+                        while user
+                            .fov_predictions
+                            .front()
+                            .is_some_and(|p| p.target_seq <= seq)
+                        {
+                            let record = user.fov_predictions.pop_front().expect("checked front");
+                            tiles_for_pose_into(self.library.fov(), &pose, &mut self.fov_actual);
+                            let overlap = fov_tile_overlap(
+                                &record.tiles[..record.len as usize],
+                                &self.fov_actual,
+                            );
+                            self.obs
+                                .registry
+                                .observe(self.obs.h_overlap[record.h - 1], overlap as u64);
+                        }
                     }
                     Ok(ClientMessage::Ack { ids }) => {
                         for vid in ids {
@@ -985,6 +1079,18 @@ impl Session {
                     });
                 }
             }
+            // Anticipatory degrade (lookahead sessions): clamp the
+            // planning estimate toward the fitted-trend forecast so
+            // quality ramps down ahead of a dip instead of cliff-dropping
+            // when the EMA catches up. The floor hysteresis above keeps
+            // reading the raw estimate — a clamp must not pin a user.
+            let bn = if self.lookahead.active() {
+                user.lookahead_degrade
+                    .observe_and_clamp(bn, self.lookahead.horizon)
+                    .max(1.0)
+            } else {
+                bn
+            };
             // Multicast group eligibility: a v3, non-degraded user whose
             // pose falls in an orientation bucket. The key fingerprints
             // the undelivered level-prefix state, so equal keys guarantee
@@ -1082,6 +1188,142 @@ impl Session {
             if let Some(ns) = self.engine.timers().value.last_ns() {
                 self.obs.stage(self.obs.h_value, self.slot, "value", ns);
             }
+        }
+
+        self.plan_prefetch.clear();
+        if self.lookahead.active() && !self.plan_ids.is_empty() {
+            self.prefetch_pass();
+        }
+    }
+
+    /// Lookahead pass, run after the solve while its assignment is live:
+    /// queues FoV-overlap prediction records per horizon step and spends
+    /// this slot's bounded budget slack prefetching base-quality tiles
+    /// for predicted future cells. Prefetched ids ride the assignment
+    /// manifests (see [`Session::transmit`]); the ledger charges them
+    /// when the client ACKs, and reconciliation releases predictions
+    /// that never materialised. Sequential in plan order and rng-free,
+    /// so any `build_threads` count stages the same prefetch set.
+    fn prefetch_pass(&mut self) {
+        let rows = self.engine.assignment().len();
+        let assigned: f64 = (0..rows)
+            .map(|r| self.engine.rates(r)[self.engine.assignment()[r].index()])
+            .sum();
+        let mut credit = slot_credit(
+            self.config.server_total_mbps,
+            assigned,
+            self.lookahead.prefetch.credit_fraction,
+        );
+        // Members of a ≥2 group receive shared group payloads this slot,
+        // so per-user prefetch ids would have nowhere to ride — they keep
+        // their prediction records but spend no credit. Also map each
+        // plan index to its engine row's assigned quality: in multicast
+        // mode staged rows are per *group*, not per plan index.
+        let mut grouped = vec![false; self.plan_ids.len()];
+        let mut row_quality = vec![QualityLevel::MIN; self.plan_ids.len()];
+        if self.config.multicast {
+            for (r, members) in self.staged_members.iter().enumerate() {
+                for &m in members {
+                    row_quality[m] = self.engine.assignment()[r];
+                    if members.len() >= 2 {
+                        grouped[m] = true;
+                    }
+                }
+            }
+        } else {
+            row_quality.copy_from_slice(self.engine.assignment());
+        }
+        for i in 0..self.plan_ids.len() {
+            let id = self.plan_ids[i];
+            let mut ids: Vec<VideoId> = Vec::new();
+            let Some(user) = &mut self.users[id] else {
+                self.plan_prefetch.push(ids);
+                continue;
+            };
+            if user.has_pose && !user.degraded && !user.bw_degraded {
+                let current = user.undelivered.cell().expect("targeted during plan");
+                self.future_cells.clear();
+                self.future_poses.clear();
+                for h in 1..self.lookahead.horizon {
+                    let horizon_slots = (PIPELINE_SLOTS + user.staleness_slots + h) as f64;
+                    let Some(pose) = user.predictor.predict_fractional(horizon_slots) else {
+                        continue;
+                    };
+                    tiles_for_pose_into(self.library.fov(), &pose, &mut self.prefetch_tiles);
+                    let mut record = FovPredictionRecord {
+                        target_seq: user.last_pose_seq
+                            + (user.staleness_slots + PIPELINE_SLOTS + h) as u64,
+                        h,
+                        tiles: [TileId::new(0); TileId::COUNT as usize],
+                        len: self.prefetch_tiles.len() as u8,
+                    };
+                    record.tiles[..self.prefetch_tiles.len()].copy_from_slice(&self.prefetch_tiles);
+                    user.fov_predictions.push_back(record);
+                    if user.fov_predictions.len() > MAX_PENDING_PREDICTIONS {
+                        user.fov_predictions.pop_front();
+                    }
+                    let cell = self.library.grid().cell_of(&pose.position);
+                    if cell != current && !self.future_cells.contains(&cell) {
+                        self.future_cells.push(cell);
+                        self.future_poses.push(pose);
+                    }
+                }
+                self.prefetch_released.clear();
+                user.prefetcher
+                    .reconcile(current, &self.future_cells, &mut self.prefetch_released);
+                if !self.prefetch_released.is_empty() {
+                    // Un-ACKed ids are absent from the ledger; releasing
+                    // them there is a no-op, which is exactly right.
+                    user.undelivered
+                        .release(&mut user.ledger, self.prefetch_released.drain(..));
+                }
+                // Prefetch at the quality this user's row was assigned
+                // (floored at the configured base): seeding the current
+                // level keeps quality flat across the cell boundary,
+                // while seeding a lower one would hand the allocator a
+                // cheap downgrade on arrival.
+                let pf_quality = QualityLevel::new(
+                    row_quality[i]
+                        .get()
+                        .max(self.lookahead.prefetch.quality.get()),
+                );
+                let row = pf_quality.index() * usize::from(TileId::COUNT);
+                let mut taken = 0usize;
+                'cells: for idx in 0..self.future_cells.len() {
+                    if grouped[i] {
+                        break 'cells;
+                    }
+                    let cell = self.future_cells[idx];
+                    tiles_for_pose_into(
+                        self.library.fov(),
+                        &self.future_poses[idx],
+                        &mut self.prefetch_tiles,
+                    );
+                    let mut level_rates = [0.0f64; TileId::COUNT as usize];
+                    level_rates.copy_from_slice(
+                        &self.plane.rows(cell)[row..row + usize::from(TileId::COUNT)],
+                    );
+                    for k in 0..self.prefetch_tiles.len() {
+                        let t = self.prefetch_tiles[k];
+                        if taken >= self.lookahead.prefetch.max_tiles_per_slot {
+                            break 'cells;
+                        }
+                        let vid = VideoId::new(cell, t, pf_quality);
+                        if user.ledger.is_delivered(&vid) || user.prefetcher.contains(&vid) {
+                            continue;
+                        }
+                        let cost = level_rates[t.get() as usize];
+                        if cost > credit {
+                            continue;
+                        }
+                        credit -= cost;
+                        taken += 1;
+                        user.prefetcher.note(cell, vid);
+                        ids.push(vid);
+                    }
+                }
+            }
+            self.plan_prefetch.push(ids);
         }
     }
 
@@ -1243,6 +1485,12 @@ impl Session {
                     .map(|&t| VideoId::new(cell, t, quality))
                     .filter(|vid| !user.ledger.is_delivered(vid)),
             );
+            // Prefetched future-cell tiles ride the same manifest; the
+            // client ACKs them like any other tile, which is what charges
+            // the ledger.
+            if let Some(prefetch) = self.plan_prefetch.get(i) {
+                self.manifest.extend(prefetch.iter().copied());
+            }
 
             let status = user.transport.send(&ServerMessage::Assignment {
                 slot: self.slot,
@@ -1288,6 +1536,15 @@ impl Session {
                         .map(|&t| VideoId::new(cell, t, quality))
                         .filter(|vid| !user.ledger.is_delivered(vid)),
                 );
+                // Singleton rows keep full unicast parity: the prefetch
+                // extension rides here exactly as on the unicast path.
+                // Grouped rows skip it — a group's payload is shared
+                // bytes, while prefetch sets are per-user; the group-key
+                // fingerprint covers the ledger, so once prefetch ACKs
+                // diverge two users' state, they stop grouping anyway.
+                if let Some(prefetch) = self.plan_prefetch.get(i) {
+                    self.manifest.extend(prefetch.iter().copied());
+                }
                 let status = user.transport.send(&ServerMessage::Assignment {
                     slot: self.slot,
                     pose_seq: user.last_pose_seq,
@@ -1608,6 +1865,109 @@ mod tests {
         let baseline = run(1);
         assert_eq!(baseline, run(2));
         assert_eq!(baseline, run(4));
+    }
+
+    #[test]
+    fn lookahead_horizon_engages_and_stays_deterministic() {
+        use cvr_motion::pose::{Orientation, Vec3};
+
+        // A walking client under a declining bandwidth feed: the
+        // anticipatory degrade clamps the planning estimate and the
+        // prefetch pass extends manifests with future-cell tiles, so the
+        // H=4 stream must differ from the myopic stream — and must be
+        // bit-identical at any build_threads count.
+        let run = |threads: usize, horizon: usize| {
+            let mut session = Session::new(ServeConfig {
+                build_threads: threads,
+                horizon,
+                ..ServeConfig::default()
+            });
+            let mut client = join_one(&mut session);
+            session.step_slot();
+            let _welcome = client.try_recv();
+            let mut stream = Vec::new();
+            for seq in 0..32u64 {
+                let t = seq as f64;
+                client.send(&ClientMessage::Pose {
+                    seq,
+                    pose: Pose {
+                        position: Vec3::new(0.09 * t, 1.6, -0.07 * t),
+                        orientation: Orientation {
+                            yaw: 6.0 * t,
+                            pitch: 0.0,
+                            roll: 0.0,
+                        },
+                    },
+                });
+                client.send(&ClientMessage::BandwidthSample {
+                    mbps: (60.0 - 1.5 * t).max(5.0),
+                });
+                session.step_slot();
+                while let Some(Ok(message)) = client.try_recv() {
+                    if let ServerMessage::Assignment {
+                        slot,
+                        quality,
+                        rate_mbps,
+                        manifest,
+                        ..
+                    } = message
+                    {
+                        stream.push((slot, quality, rate_mbps.to_bits(), manifest.clone()));
+                        if !manifest.is_empty() {
+                            client.send(&ClientMessage::Ack { ids: manifest });
+                        }
+                    }
+                }
+            }
+            stream
+        };
+        let myopic = run(1, 1);
+        let lookahead = run(1, 4);
+        assert_ne!(myopic, lookahead, "H=4 must change the served stream");
+        // Prefetch engaged: some manifest spans more than one cell.
+        assert!(
+            lookahead
+                .iter()
+                .any(|f| f.3.windows(2).any(|w| w[0].cell() != w[1].cell())),
+            "no manifest carried a future-cell prefetch tile"
+        );
+        assert_eq!(lookahead, run(2, 4));
+        assert_eq!(lookahead, run(4, 4));
+    }
+
+    #[test]
+    fn lookahead_overlap_histograms_record_and_export() {
+        let mut session = Session::new(ServeConfig {
+            horizon: 3,
+            ..ServeConfig::default()
+        });
+        let mut client = join_one(&mut session);
+        session.step_slot();
+        let _welcome = client.try_recv();
+        for seq in 0..20u64 {
+            client.send(&ClientMessage::Pose {
+                seq,
+                pose: Pose::default(),
+            });
+            client.send(&ClientMessage::BandwidthSample { mbps: 50.0 });
+            session.step_slot();
+            while let Some(Ok(_)) = client.try_recv() {}
+        }
+        assert_eq!(session.obs.h_overlap.len(), 2);
+        for (i, &hid) in session.obs.h_overlap.iter().enumerate() {
+            let hist = session.obs.registry.histogram_value(hid);
+            assert!(
+                hist.count() > 0,
+                "h={} overlap histogram never recorded",
+                i + 1
+            );
+            // A static pose makes every lookahead prediction perfect.
+            assert_eq!(hist.min(), Some(TileId::COUNT as u64));
+        }
+        let text = session.render_metrics();
+        assert!(text.contains("cvr_lookahead_fov_overlap"));
+        assert!(text.contains("h=\"1\""));
+        assert!(text.contains("h=\"2\""));
     }
 
     #[test]

@@ -198,6 +198,81 @@ fn disjoint_gaze_multicast_is_bit_identical_to_unicast() {
     assert_eq!(mc_qoe, uc_qoe);
 }
 
+/// FNV-1a fingerprint of a frame stream (the bench fingerprint idiom, so
+/// parity failures print as two comparable hashes).
+fn stream_fingerprint(frames: &[Frame]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mix = |acc: u64, v: u64| (acc ^ v).wrapping_mul(PRIME);
+    for (c, slot, kind, gid, quality, rate, manifest) in frames {
+        h = mix(h, *c as u64);
+        h = mix(h, *slot);
+        h = mix(h, *kind as u64);
+        h = mix(h, *gid);
+        h = mix(h, *quality as u64);
+        h = mix(h, *rate);
+        for vid in manifest {
+            h = mix(h, vid.cell().x as u64);
+            h = mix(h, vid.cell().z as u64);
+            h = mix(h, vid.tile().get() as u64);
+            h = mix(h, vid.quality().get() as u64);
+        }
+    }
+    h
+}
+
+#[test]
+fn prefetching_singleton_session_keeps_unicast_parity() {
+    // One walking user at lookahead horizon 4: the prefetch pass engages
+    // (predicted future cells differ from the current cell, so manifests
+    // carry cross-cell prefetch extensions), and since a lone user only
+    // ever forms a singleton group, the multicast session must still
+    // reproduce the unicast session bit for bit.
+    let walk = |multicast: bool| {
+        let mut session = Session::new(ServeConfig {
+            multicast,
+            horizon: 4,
+            ..ServeConfig::default()
+        });
+        let mut client = join_with(&mut session, 500, PROTOCOL_VERSION);
+        let mut frames = Vec::new();
+        for seq in 0..48u64 {
+            let t = seq as f64;
+            client.send(&ClientMessage::Pose {
+                seq,
+                pose: Pose {
+                    position: Vec3::new(0.08 * t, 1.6, -0.06 * t),
+                    orientation: Orientation {
+                        yaw: 4.0 * t,
+                        pitch: 0.0,
+                        roll: 0.0,
+                    },
+                },
+            });
+            client.send(&ClientMessage::BandwidthSample { mbps: 45.0 });
+            session.step_slot();
+            assert_eq!(session.multicast_groups(), 0);
+            drain_and_ack(0, &mut client, &mut frames);
+        }
+        assert_eq!(session.counters().protocol_errors, 0);
+        frames
+    };
+    let unicast = walk(false);
+    let mcast = walk(true);
+    assert!(
+        unicast
+            .iter()
+            .any(|f| f.6.windows(2).any(|w| w[0].cell() != w[1].cell())),
+        "prefetch never extended a manifest with a future-cell tile"
+    );
+    assert!(
+        mcast.iter().all(|f| f.2 == 0),
+        "singletons must stay unicast"
+    );
+    assert_eq!(stream_fingerprint(&unicast), stream_fingerprint(&mcast));
+    assert_eq!(unicast, mcast);
+}
+
 #[test]
 fn shard_layout_does_not_change_multicast_outcomes() {
     // 8 replay clients over 2 sessions. Join routing alternates

@@ -280,6 +280,72 @@ pub fn scenario_matrix_threaded(
     ScenarioMatrixResult { rows }
 }
 
+/// One row of the pathology × horizon lookahead matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LookaheadRow {
+    /// Which correlated impairment (see [`Pathology::label`]).
+    pub pathology: Pathology,
+    /// `(horizon, averages)` per swept horizon, in sweep order, for the
+    /// paper's `ours` allocator. Horizon 1 is the myopic baseline: no
+    /// lookahead code runs, so its entry must be bit-identical to a run
+    /// that never mentions the horizon at all (the `lookahead_bench`
+    /// gate asserts exactly that).
+    pub per_horizon: Vec<(usize, SystemAverages)>,
+}
+
+/// The full lookahead sweep: every [`Pathology`], every swept horizon.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LookaheadMatrixResult {
+    /// One row per pathology, in [`Pathology::ALL`] order.
+    pub rows: Vec<LookaheadRow>,
+}
+
+/// Runs the lookahead horizon sweep: for every pathology in
+/// [`Pathology::ALL`] and every horizon in `horizons`, a full
+/// [`system_experiment`] of the `ours` allocator with the base config's
+/// scenario swapped for that pathology and its horizon set.
+pub fn lookahead_matrix(
+    base: &SystemConfig,
+    horizons: &[usize],
+    repetitions: usize,
+) -> LookaheadMatrixResult {
+    lookahead_matrix_threaded(base, horizons, repetitions, None)
+}
+
+/// [`lookahead_matrix`] with an explicit worker count (`None`/`Some(0)` =
+/// available parallelism). Inherits [`system_experiment_threaded`]'s
+/// bit-identical-at-any-thread-count guarantee cell by cell.
+pub fn lookahead_matrix_threaded(
+    base: &SystemConfig,
+    horizons: &[usize],
+    repetitions: usize,
+    threads: Option<usize>,
+) -> LookaheadMatrixResult {
+    let kinds = [AllocatorKind::DensityValueGreedy];
+    let rows = Pathology::ALL
+        .into_iter()
+        .map(|pathology| {
+            let per_horizon = horizons
+                .iter()
+                .map(|&horizon| {
+                    let config = SystemConfig {
+                        scenario: Some(NetScenario::paper_default(pathology)),
+                        horizon,
+                        ..base.clone()
+                    };
+                    let result = system_experiment_threaded(&config, &kinds, repetitions, threads);
+                    (horizon, result.per_algorithm["ours"])
+                })
+                .collect();
+            LookaheadRow {
+                pathology,
+                per_horizon,
+            }
+        })
+        .collect();
+    LookaheadMatrixResult { rows }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -373,6 +439,27 @@ mod tests {
         }
         let parallel = scenario_matrix_threaded(&base, &kinds, 2, Some(4));
         assert_eq!(parallel, serial, "scenario matrix diverged across threads");
+    }
+
+    #[test]
+    fn lookahead_matrix_h1_matches_the_horizonless_config() {
+        let base = SystemConfig {
+            num_users: 2,
+            duration_s: 2.0,
+            ..SystemConfig::setup1(63)
+        };
+        let sweep = lookahead_matrix_threaded(&base, &[1, 4], 2, Some(1));
+        assert_eq!(sweep.rows.len(), Pathology::ALL.len());
+        let myopic =
+            scenario_matrix_threaded(&base, &[AllocatorKind::DensityValueGreedy], 2, Some(1));
+        for (row, myopic_row) in sweep.rows.iter().zip(&myopic.rows) {
+            assert_eq!(row.pathology, myopic_row.pathology);
+            // H=1 is structurally the myopic allocator: bit-identical to a
+            // run whose config never set the horizon.
+            assert_eq!(row.per_horizon[0], (1, myopic_row.per_algorithm["ours"]));
+        }
+        let parallel = lookahead_matrix_threaded(&base, &[1, 4], 2, Some(4));
+        assert_eq!(parallel, sweep, "lookahead matrix diverged across threads");
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! the identical per-user problem build (parallel, disjoint-row writes ⇒
 //! bit-identical at every `build_threads`), the identical quality-increment
 //! greedy, and the identical delivery accounting; the only difference is
-//! whether users sharing a [`GroupKey`](cvr_mcast::group::GroupKey) are
+//! whether users sharing a [`GroupKey`] are
 //! staged once or N times. With grouping disabled every "group" is a
 //! singleton staged byte-identically to the unicast row, which is the
 //! unicast-parity guarantee `mcast_bench` fingerprints.

@@ -18,9 +18,11 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 use cvr_content::cache::{ClientTileBuffer, DeliveryLedger, ServerTileCache, UndeliveredSums};
+use cvr_content::grid::CellId;
 use cvr_content::id::VideoId;
 use cvr_content::library::ContentLibrary;
 use cvr_content::plane::{FovRequestCache, RatePlane, DEFAULT_PLANE_CELLS};
+use cvr_content::tile::{tiles_for_pose_into, TileId};
 use cvr_core::alloc::Allocator;
 use cvr_core::delay::{DelayModel, Mm1Delay};
 use cvr_core::engine::SlotEngine;
@@ -28,6 +30,7 @@ use cvr_core::objective::QoeParams;
 use cvr_core::qoe::{SystemQoeSummary, UserQoeAccumulator, UserQoeSummary};
 use cvr_core::quality::QualityLevel;
 use cvr_core::stage::{stage_rates_values_with, CONTROL_OVERHEAD_MBPS};
+use cvr_lookahead::{slot_credit, AnticipatoryDegrade, LookaheadConfig, Prefetcher};
 use cvr_motion::accuracy::DeltaEstimator;
 use cvr_motion::pose::Pose;
 use cvr_motion::predict::LinearPredictor;
@@ -115,6 +118,13 @@ pub struct SystemConfig {
     /// spawn). Per-user table writes are disjoint, so the assignments are
     /// bit-identical at every thread count.
     pub build_threads: usize,
+    /// Lookahead horizon in display slots. `1` runs the paper's myopic
+    /// per-slot allocator bit-for-bit (no lookahead code executes at
+    /// all); `H > 1` additionally predicts the FoVs of the `H − 1` slots
+    /// after the display slot, spends budget slack pre-staging their
+    /// base-quality tiles through the delivery ledger, and runs the
+    /// [`cvr_lookahead`] anticipatory degrade on the bandwidth estimate.
+    pub horizon: usize,
     /// Master seed.
     pub seed: u64,
 }
@@ -141,6 +151,7 @@ impl SystemConfig {
             scenario: None,
             record_timeseries: false,
             build_threads: 1,
+            horizon: 1,
             seed,
         }
     }
@@ -438,6 +449,21 @@ pub fn run_instrumented(
     let mut pending: Vec<VecDeque<PendingFrame>> = (0..n).map(|_| VecDeque::new()).collect();
     let mut pose_staleness: Vec<usize> = vec![0; n];
 
+    // Lookahead state (horizon > 1 only; at H = 1 none of it is touched,
+    // which is the Theorem-1 parity guarantee): per-user anticipatory
+    // degrade over the bandwidth estimates, per-user trackers of
+    // outstanding prefetched tiles, and reused scratch for the
+    // future-FoV prediction pass.
+    let lookahead = LookaheadConfig::for_horizon(config.horizon);
+    let mut degrades: Vec<AnticipatoryDegrade> = (0..n)
+        .map(|_| AnticipatoryDegrade::new(lookahead.degrade))
+        .collect();
+    let mut prefetchers: Vec<Prefetcher> = (0..n).map(|_| Prefetcher::new()).collect();
+    let mut future_cells: Vec<CellId> = Vec::new();
+    let mut future_poses: Vec<Pose> = Vec::new();
+    let mut prefetch_tiles: Vec<TileId> = Vec::new();
+    let mut prefetch_released: Vec<VideoId> = Vec::new();
+
     // Server-side tile cache (shared across users, as in the real server).
     let mut server_cache = ServerTileCache::new(20_000);
 
@@ -606,6 +632,15 @@ pub fn run_instrumented(
         estimated_bn.clear();
         estimated_bn
             .extend((0..n).map(|u| bandwidth_estimates[u].estimate_or(throttles[u]).max(1.0)));
+        if lookahead.active() {
+            // Anticipatory degrade: trend-extrapolate each user's
+            // estimate across the horizon and ramp the link budget down
+            // ahead of forecast dips (never above the raw estimate, so
+            // constraint (6) only tightens).
+            for u in 0..n {
+                estimated_bn[u] = degrades[u].observe_and_clamp(estimated_bn[u], lookahead.horizon);
+            }
+        }
 
         // Build the slot problem directly into the engine's reused tables.
         let build_start = Instant::now();
@@ -854,6 +889,82 @@ pub fn run_instrumented(
             .timers_mut()
             .accounting
             .record(accounting_start.elapsed());
+
+        // Prefetch credit (horizon > 1 only): spend the slot's budget
+        // slack — constraint (7) headroom left by the allocation — on
+        // current-quality tiles for the FoVs predicted at the H − 1 slots
+        // past the display slot. Charging goes through the paired
+        // `UndeliveredSums::acknowledge` call, so the arrival-slot
+        // retarget sees the tiles as delivered (no re-stage, no resend)
+        // and a prediction that never materialises is released through
+        // the same pairing. Entirely sequential and rng-free: thread
+        // counts cannot perturb it.
+        if lookahead.active() {
+            let assigned: f64 = (0..n).map(|u| engine.rates(u)[assignment[u].index()]).sum();
+            let mut credit = slot_credit(
+                config.server_total_mbps,
+                assigned,
+                lookahead.prefetch.credit_fraction,
+            );
+            for u in 0..n {
+                let current = undelivered[u].cell().expect("targeted during build");
+                future_cells.clear();
+                future_poses.clear();
+                for h in 1..lookahead.horizon {
+                    let horizon_slots = (PIPELINE_SLOTS + pose_staleness[u] + h) as f64;
+                    let Some(pose) =
+                        predictors[u].predict_fractional(horizon_slots / period as f64)
+                    else {
+                        continue;
+                    };
+                    let cell = library.grid().cell_of(&pose.position);
+                    if cell != current && !future_cells.contains(&cell) {
+                        future_cells.push(cell);
+                        future_poses.push(pose);
+                    }
+                }
+                prefetch_released.clear();
+                prefetchers[u].reconcile(current, &future_cells, &mut prefetch_released);
+                if !prefetch_released.is_empty() {
+                    undelivered[u].release(&mut ledgers[u], prefetch_released.drain(..));
+                }
+                // Prefetch at the quality the user is currently being
+                // served (floored at the configured base): the greedy
+                // allocator treats a ledger-delivered level as a
+                // near-free option, so seeding the *current* level keeps
+                // quality flat across the cell boundary, while seeding a
+                // lower one would hand the allocator a cheap downgrade.
+                let pf_quality =
+                    QualityLevel::new(assignment[u].get().max(lookahead.prefetch.quality.get()));
+                let row = pf_quality.index() * usize::from(TileId::COUNT);
+                let mut taken = 0usize;
+                'cells: for (idx, &cell) in future_cells.iter().enumerate() {
+                    tiles_for_pose_into(library.fov(), &future_poses[idx], &mut prefetch_tiles);
+                    let mut level_rates = [0.0f64; TileId::COUNT as usize];
+                    level_rates
+                        .copy_from_slice(&plane.rows(cell)[row..row + usize::from(TileId::COUNT)]);
+                    for &t in &prefetch_tiles {
+                        if taken >= lookahead.prefetch.max_tiles_per_slot {
+                            break 'cells;
+                        }
+                        let id = VideoId::new(cell, t, pf_quality);
+                        if ledgers[u].is_delivered(&id) {
+                            continue;
+                        }
+                        let cost = level_rates[t.get() as usize];
+                        if cost > credit {
+                            continue;
+                        }
+                        credit -= cost;
+                        taken += 1;
+                        undelivered[u].acknowledge(&mut ledgers[u], id);
+                        prefetchers[u].note(cell, id);
+                    }
+                }
+                #[cfg(debug_assertions)]
+                undelivered[u].assert_matches_ledger(&ledgers[u]);
+            }
+        }
     }
     let wall_s = wall_start.elapsed().as_secs_f64();
 
@@ -1220,6 +1331,49 @@ mod tests {
             "delay-blind {} should exceed delay-aware {}",
             blind.summary.avg_delay,
             ours.summary.avg_delay
+        );
+    }
+
+    #[test]
+    fn lookahead_horizon_engages_and_stays_deterministic() {
+        let myopic = SystemConfig {
+            scenario: Some(NetScenario::paper_default(Pathology::Handover)),
+            ..tiny(37)
+        };
+        let ahead = SystemConfig {
+            horizon: 4,
+            ..myopic.clone()
+        };
+        let m = run(&myopic, AllocatorKind::DensityValueGreedy);
+        let a = run(&ahead, AllocatorKind::DensityValueGreedy);
+        assert_ne!(m, a, "horizon 4 must engage the lookahead subsystem");
+        for threads in [2, 3] {
+            let threaded = SystemConfig {
+                build_threads: threads,
+                ..ahead.clone()
+            };
+            assert_eq!(
+                run(&threaded, AllocatorKind::DensityValueGreedy),
+                a,
+                "horizon 4 diverged at build_threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_horizon_one_is_the_myopic_allocator() {
+        // H = 1 is not a tuned-down lookahead configuration — no
+        // lookahead code runs at all, so the run is the paper's per-slot
+        // allocator bit for bit.
+        let cfg = tiny(43);
+        assert_eq!(cfg.horizon, 1, "myopic must be the default");
+        let explicit = SystemConfig {
+            horizon: 1,
+            ..cfg.clone()
+        };
+        assert_eq!(
+            run(&explicit, AllocatorKind::DensityValueGreedy),
+            run(&cfg, AllocatorKind::DensityValueGreedy)
         );
     }
 

@@ -31,6 +31,7 @@ use cvr_core::qoe::{SystemQoeSummary, UserQoeAccumulator, UserQoeSummary};
 use cvr_core::quality::QualityLevel;
 use cvr_core::rate::RateFunction;
 use cvr_core::stage::stage_rates_values_with;
+use cvr_lookahead::{AnticipatoryDegrade, DegradeConfig, LookaheadConfig};
 use cvr_motion::accuracy::DeltaEstimator;
 use cvr_motion::predict::LinearPredictor;
 use cvr_motion::synthetic::{MotionConfig, MotionGenerator};
@@ -80,6 +81,15 @@ pub struct TraceSimConfig {
     /// spawn). Per-user table writes are disjoint, so the assignments are
     /// bit-identical at every thread count.
     pub build_threads: usize,
+    /// Lookahead horizon in slots. `1` is the paper's myopic Section-IV
+    /// loop bit-for-bit. `H > 1` runs the [`cvr_lookahead`] anticipatory
+    /// degrade with *known* future throughput (this simulator owns its
+    /// traces): each user's link budget is ramped toward the minimum of
+    /// the next `H − 1` trace samples instead of cliff-dropping when the
+    /// dip arrives. The trace model has no delivery ledger, so the
+    /// prefetch-credit half of the subsystem only exists in the
+    /// full-system simulator and the live server.
+    pub horizon: usize,
 }
 
 impl TraceSimConfig {
@@ -99,6 +109,7 @@ impl TraceSimConfig {
             motion_override: None,
             record_timeseries: false,
             build_threads: 1,
+            horizon: 1,
         }
     }
 
@@ -284,6 +295,16 @@ pub fn run_instrumented(
     let mut rate_sums: Vec<UndeliveredSums> =
         (0..n).map(|_| UndeliveredSums::new(levels)).collect();
 
+    // Lookahead (horizon > 1 only; at H = 1 none of this state is
+    // touched, keeping the myopic loop bit-identical).
+    let lookahead = LookaheadConfig::for_horizon(config.horizon);
+    // This simulator's forecast is exact (it owns the throughput
+    // traces), so the known-future tuning applies: no estimator noise
+    // to hedge against, shallow dips are worth acting on.
+    let mut degrades: Vec<AnticipatoryDegrade> = (0..n)
+        .map(|_| AnticipatoryDegrade::new(DegradeConfig::known_future()))
+        .collect();
+
     let wall_start = Instant::now();
     for slot in 0..slots {
         let now = slot as f64 * config.slot_duration_s;
@@ -303,6 +324,19 @@ pub fn run_instrumented(
         let build_start = Instant::now();
         link_budgets.clear();
         link_budgets.extend((0..n).map(|u| traces[u].at(now)));
+        if lookahead.active() {
+            // Anticipatory degrade with known future throughput: ramp
+            // each link budget toward the minimum over the next H − 1
+            // trace samples, so quality walks down ahead of a dip
+            // instead of cliff-dropping into it.
+            for u in 0..n {
+                let raw = link_budgets[u];
+                let forecast_min = (1..lookahead.horizon)
+                    .map(|h| traces[u].at(now + h as f64 * config.slot_duration_s))
+                    .fold(raw, f64::min);
+                link_budgets[u] = degrades[u].clamp_to_forecast(raw, forecast_min);
+            }
+        }
 
         // Sequential pass: resolve each user's FoV request from the cache
         // and refresh its rate table only on cell/bucket crossings.
@@ -601,6 +635,41 @@ mod tests {
         cfg.motion_override = Some(vec![vec![pose; 10]; cfg.num_users]);
         let r = run(&cfg, AllocatorKind::DensityValueGreedy);
         assert!(r.summary.avg_hit_rate > 0.99);
+    }
+
+    #[test]
+    fn lookahead_horizon_engages_and_stays_deterministic() {
+        let myopic = small_config(51);
+        let ahead = TraceSimConfig {
+            horizon: 8,
+            ..myopic.clone()
+        };
+        let m = run(&myopic, AllocatorKind::DensityValueGreedy);
+        let a = run(&ahead, AllocatorKind::DensityValueGreedy);
+        assert_ne!(m, a, "horizon 8 must engage the anticipatory degrade");
+        let threaded = TraceSimConfig {
+            build_threads: 3,
+            ..ahead.clone()
+        };
+        assert_eq!(
+            run(&threaded, AllocatorKind::DensityValueGreedy),
+            a,
+            "horizon 8 diverged across build threads"
+        );
+    }
+
+    #[test]
+    fn default_horizon_is_myopic() {
+        let cfg = small_config(53);
+        assert_eq!(cfg.horizon, 1);
+        let explicit = TraceSimConfig {
+            horizon: 1,
+            ..cfg.clone()
+        };
+        assert_eq!(
+            run(&explicit, AllocatorKind::DensityValueGreedy),
+            run(&cfg, AllocatorKind::DensityValueGreedy)
+        );
     }
 
     #[test]
